@@ -1,0 +1,60 @@
+//! Criterion ablation bench: the design choices DESIGN.md calls out —
+//! QuIT minus variable split, minus redistribution, minus reset, and the
+//! two readings of Algorithm 2's split bound (Eq. 2 vs the literal line 4).
+
+use bods::BodsSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use quit_core::{BpTree, FastPathMode, SplitBoundRule, TreeConfig};
+
+fn configs() -> Vec<(&'static str, TreeConfig)> {
+    let full = TreeConfig::paper_default();
+    vec![
+        ("full", full.clone()),
+        ("no-variable-split", full.clone().with_variable_split(false)),
+        ("no-redistribute", full.clone().with_redistribute(false)),
+        ("no-reset", full.clone().with_reset_threshold(None)),
+        (
+            "literal-alg2-bound",
+            full.with_split_bound_rule(SplitBoundRule::Literal),
+        ),
+    ]
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let n = 100_000usize;
+    let keys = BodsSpec::new(n, 0.05, 1.0).generate();
+    let mut group = c.benchmark_group("quit_ablation_ingest_near5");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    for (name, config) in configs() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &keys, |b, keys| {
+            b.iter(|| {
+                let mut t: BpTree<u64, u64> =
+                    BpTree::with_config(FastPathMode::Pole, config.clone());
+                for (i, &k) in keys.iter().enumerate() {
+                    t.insert(k, i as u64);
+                }
+                t.len()
+            })
+        });
+    }
+    group.finish();
+
+    // Occupancy consequences of each ablation (reported once, not timed).
+    println!("\nablation leaf occupancy at K=5% (N={n}):");
+    for (name, config) in configs() {
+        let mut t: BpTree<u64, u64> = BpTree::with_config(FastPathMode::Pole, config);
+        for (i, &k) in keys.iter().enumerate() {
+            t.insert(k, i as u64);
+        }
+        let m = t.memory_report();
+        println!(
+            "  {name:>20}: occupancy {:>5.1}%  fast-inserts {:>5.1}%",
+            m.avg_leaf_occupancy * 100.0,
+            t.stats().fast_insert_fraction() * 100.0
+        );
+    }
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion micro-benchmark: multi-threaded insert throughput, concurrent
+//! QuIT vs concurrent B+-tree (the microbenchmark behind Fig 13a).
+
+use bods::BodsSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use quit_concurrent::{ConcConfig, ConcurrentTree};
+use std::sync::Arc;
+
+fn bench_concurrent(c: &mut Criterion) {
+    let n = 100_000usize;
+    let keys = BodsSpec::new(n, 0.05, 1.0).generate();
+    let mut group = c.benchmark_group("concurrent_insert_near_sorted");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        for (name, pole) in [("QuIT", true), ("B+-tree", false)] {
+            group.bench_with_input(BenchmarkId::new(name, threads), &keys, |b, keys| {
+                b.iter(|| {
+                    let tree: Arc<ConcurrentTree<u64, u64>> =
+                        Arc::new(ConcurrentTree::new(if pole {
+                            ConcConfig::quit()
+                        } else {
+                            ConcConfig::classic()
+                        }));
+                    std::thread::scope(|s| {
+                        for t in 0..threads {
+                            let tree = tree.clone();
+                            let slice: Vec<u64> =
+                                keys.iter().skip(t).step_by(threads).copied().collect();
+                            s.spawn(move || {
+                                for k in slice {
+                                    tree.insert(k, k);
+                                }
+                            });
+                        }
+                    });
+                    tree.len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrent);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion micro-benchmark: ingestion throughput per index variant across
+//! sortedness levels (the microbenchmark behind Figs 1a/8).
+
+use bods::BodsSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use quit_core::{TreeConfig, Variant};
+
+fn bench_ingest(c: &mut Criterion) {
+    let n = 100_000usize;
+    let mut group = c.benchmark_group("ingest");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    for (label, k) in [("sorted", 0.0), ("near5", 0.05), ("scrambled", 1.0)] {
+        let keys = BodsSpec::new(n, k, 1.0).generate();
+        for variant in [
+            Variant::Classic,
+            Variant::Tail,
+            Variant::Lil,
+            Variant::PoleOnly,
+            Variant::Quit,
+        ] {
+            group.bench_with_input(BenchmarkId::new(variant.name(), label), &keys, |b, keys| {
+                b.iter(|| {
+                    let mut tree = variant.build::<u64, u64>(TreeConfig::paper_default());
+                    for (i, &key) in keys.iter().enumerate() {
+                        tree.insert(key, i as u64);
+                    }
+                    tree.len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion micro-benchmark: point and range lookups, QuIT vs classical
+//! B+-tree (the microbenchmark behind Fig 10b/c).
+
+use bods::{point_lookup_keys, range_lookup_bounds, BodsSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use quit_core::{BpTree, TreeConfig, Variant};
+
+fn build(variant: Variant, keys: &[u64]) -> BpTree<u64, u64> {
+    let mut tree = variant.build::<u64, u64>(TreeConfig::paper_default());
+    for (i, &k) in keys.iter().enumerate() {
+        tree.insert(k, i as u64);
+    }
+    tree
+}
+
+fn bench_point(c: &mut Criterion) {
+    let n = 200_000usize;
+    let keys = BodsSpec::new(n, 0.05, 1.0).generate();
+    let probes = point_lookup_keys(n, 10_000, 7);
+    let mut group = c.benchmark_group("point_lookup");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    for variant in [Variant::Classic, Variant::Quit] {
+        let tree = build(variant, &keys);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.name()),
+            &tree,
+            |b, t| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for &p in &probes {
+                        if t.get(p).is_some() {
+                            hits += 1;
+                        }
+                    }
+                    hits
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_range(c: &mut Criterion) {
+    let n = 200_000usize;
+    let keys = BodsSpec::new(n, 0.05, 1.0).generate();
+    let ranges = range_lookup_bounds(n, 100, 0.01, 11);
+    let mut group = c.benchmark_group("range_scan_sel1pct");
+    group.sample_size(20);
+    for variant in [Variant::Classic, Variant::Quit] {
+        let tree = build(variant, &keys);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.name()),
+            &tree,
+            |b, t| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for &(s, e) in &ranges {
+                        total += t.range(s, e).entries.len();
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_point, bench_range);
+criterion_main!(benches);

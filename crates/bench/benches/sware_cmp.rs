@@ -1,0 +1,62 @@
+//! Criterion micro-benchmark: QuIT vs SWARE (SA-B+-tree), ingest and point
+//! lookups on a near-sorted stream (the microbenchmark behind Fig 14).
+
+use bods::{point_lookup_keys, BodsSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use quit_core::{TreeConfig, Variant};
+use sware::{SaBpTree, SwareConfig};
+
+fn bench_sware_ingest(c: &mut Criterion) {
+    let n = 100_000usize;
+    let keys = BodsSpec::new(n, 0.05, 1.0).generate();
+    let mut group = c.benchmark_group("sware_vs_quit_ingest");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("QuIT"), &keys, |b, keys| {
+        b.iter(|| {
+            let mut t = Variant::Quit.build::<u64, u64>(TreeConfig::paper_default());
+            for (i, &k) in keys.iter().enumerate() {
+                t.insert(k, i as u64);
+            }
+            t.len()
+        })
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("SWARE"), &keys, |b, keys| {
+        b.iter(|| {
+            let mut t: SaBpTree<u64, u64> = SaBpTree::new(SwareConfig::for_data_size(keys.len()));
+            for (i, &k) in keys.iter().enumerate() {
+                t.insert(k, i as u64);
+            }
+            t.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_sware_lookup(c: &mut Criterion) {
+    let n = 100_000usize;
+    let keys = BodsSpec::new(n, 0.05, 1.0).generate();
+    let probes = point_lookup_keys(n, 5_000, 3);
+    let mut group = c.benchmark_group("sware_vs_quit_lookup");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+
+    let mut quit = Variant::Quit.build::<u64, u64>(TreeConfig::paper_default());
+    for (i, &k) in keys.iter().enumerate() {
+        quit.insert(k, i as u64);
+    }
+    group.bench_function("QuIT", |b| {
+        b.iter(|| probes.iter().filter(|&&p| quit.get(p).is_some()).count())
+    });
+
+    let mut sa: SaBpTree<u64, u64> = SaBpTree::new(SwareConfig::for_data_size(n));
+    for (i, &k) in keys.iter().enumerate() {
+        sa.insert(k, i as u64);
+    }
+    group.bench_function("SWARE", |b| {
+        b.iter(|| probes.iter().filter(|&&p| sa.get(p).is_some()).count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sware_ingest, bench_sware_lookup);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Fig 11: K×L heatmaps comparing ℓiℓ-B+-tree and QuIT — (a)/(b) fraction
+//! of fast-inserts and (c)/(d) average leaf occupancy while varying both
+//! the number of out-of-order entries (K) and their max displacement (L).
+
+use bods::BodsSpec;
+use quit_bench::{ingest, pct, print_table, Opts};
+use quit_core::Variant;
+
+const K_VALUES: [f64; 6] = [0.0, 0.01, 0.03, 0.05, 0.25, 0.50];
+const L_VALUES: [f64; 5] = [0.01, 0.03, 0.05, 0.25, 0.50];
+
+fn main() {
+    let opts = Opts::from_args();
+    let n = opts.n;
+    let headers: Vec<String> = std::iter::once("L\\K (%)".to_string())
+        .chain(K_VALUES.iter().map(|&k| pct(k)))
+        .collect();
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+
+    for (variant, label) in [(Variant::Lil, "lil"), (Variant::Quit, "QuIT")] {
+        let mut fast_rows = Vec::new();
+        let mut occ_rows = Vec::new();
+        for &l in &L_VALUES {
+            let mut fast_row = vec![pct(l)];
+            let mut occ_row = vec![pct(l)];
+            for &k in &K_VALUES {
+                let keys = BodsSpec::new(n, k, l).with_seed(opts.seed).generate();
+                let run = ingest(variant, opts.tree_config(), &keys);
+                fast_row.push(format!(
+                    "{:.0}",
+                    run.tree.stats().fast_insert_fraction() * 100.0
+                ));
+                occ_row.push(format!(
+                    "{:.0}",
+                    run.tree.memory_report().avg_leaf_occupancy * 100.0
+                ));
+            }
+            fast_rows.push(fast_row);
+            occ_rows.push(occ_row);
+        }
+        print_table(
+            &format!("Fig 11 — {label}: %% fast-inserts (N={n})"),
+            &headers_ref,
+            &fast_rows,
+        );
+        print_table(
+            &format!("Fig 11 — {label}: %% avg leaf occupancy (N={n})"),
+            &headers_ref,
+            &occ_rows,
+        );
+    }
+    println!("\npaper: fast-inserts are insensitive to L; lil ~57/26% at K=25/50% vs");
+    println!("       QuIT ~70/46%; occupancy: lil 50%→62% as K grows, QuIT 100%→61%");
+}

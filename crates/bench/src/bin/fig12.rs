@@ -1,0 +1,65 @@
+//! Fig 12: stress test — a workload alternating between near-sorted
+//! (K=10%) and fully scrambled (K=100%) segments. Reports the cumulative
+//! fast-inserts of tail-, ℓiℓ-, poℓe- (no reset), and full QuIT trees at
+//! each segment boundary; a flat step means the fast path was stale.
+
+use bods::segmented_workload;
+use quit_bench::{print_table, Opts};
+use quit_core::Variant;
+
+fn main() {
+    let opts = Opts::from_args();
+    let seg = (opts.n / 5).max(10_000);
+    let segments = [
+        (seg, 0.10),
+        (seg, 1.0),
+        (seg, 0.10),
+        (seg, 1.0),
+        (seg, 0.10),
+    ];
+    let keys = segmented_workload(&segments, opts.seed);
+
+    let variants = [
+        Variant::Tail,
+        Variant::Lil,
+        Variant::PoleOnly,
+        Variant::Quit,
+    ];
+    let mut series: Vec<Vec<u64>> = Vec::new();
+    for v in variants {
+        let mut tree = v.build::<u64, u64>(opts.tree_config());
+        let mut snaps = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            tree.insert(k, i as u64);
+            if (i + 1) % seg == 0 {
+                snaps.push(tree.stats().fast_inserts.get());
+            }
+        }
+        tree.check_invariants().expect("tree stays valid");
+        series.push(snaps);
+    }
+
+    let mut rows = Vec::new();
+    for s in 0..segments.len() {
+        let mut row = vec![format!(
+            "seg {} (K={}%)",
+            s + 1,
+            (segments[s].1 * 100.0) as u32
+        )];
+        for vs in &series {
+            row.push(format!("{}", vs[s]));
+        }
+        rows.push(row);
+    }
+    print_table(
+        &format!(
+            "Fig 12 — cumulative fast-inserts after each segment ({} x {seg} entries)",
+            segments.len()
+        ),
+        &["segment end", "tail", "lil", "pole", "QuIT"],
+        &rows,
+    );
+    println!("\npaper: tail goes stale immediately; pole is trapped after the first");
+    println!("       scrambled segment; QuIT's reset keeps recovering (~11% more");
+    println!("       fast-inserts than lil by the end)");
+}

@@ -1,0 +1,66 @@
+//! Sensitivity sweeps for QuIT's two knobs — the IKR scale and the reset
+//! threshold `T_R` — backing the paper's "little to no tuning" claim
+//! (§4.4): performance should be flat across a wide band of settings.
+
+use bods::BodsSpec;
+use quit_bench::{pct, print_table, Opts};
+use quit_core::{BpTree, FastPathMode};
+
+fn main() {
+    let opts = Opts::from_args();
+    let n = opts.n;
+    let workloads = [(0.05, "near-sorted"), (0.25, "less sorted")];
+
+    // ---- IKR scale ----
+    let mut rows = Vec::new();
+    for (k, label) in workloads {
+        let keys = BodsSpec::new(n, k, 1.0).with_seed(opts.seed).generate();
+        for scale in [0.5, 1.0, 1.5, 2.0, 3.0, 5.0] {
+            let config = opts.tree_config().with_ikr_scale(scale);
+            let mut t: BpTree<u64, u64> = BpTree::with_config(FastPathMode::Pole, config);
+            for (i, &key) in keys.iter().enumerate() {
+                t.insert(key, i as u64);
+            }
+            rows.push(vec![
+                label.to_string(),
+                format!("{scale:.1}"),
+                format!("{:.1}", t.stats().fast_insert_fraction() * 100.0),
+                format!("{:.0}", t.memory_report().avg_leaf_occupancy * 100.0),
+            ]);
+        }
+    }
+    print_table(
+        &format!("IKR scale sensitivity (N={n}, paper default 1.5)"),
+        &["workload", "scale", "% fast-inserts", "% occupancy"],
+        &rows,
+    );
+
+    // ---- reset threshold ----
+    let mut rows = Vec::new();
+    for (k, label) in workloads {
+        let keys = BodsSpec::new(n, k, 1.0).with_seed(opts.seed).generate();
+        for tr in [Some(1usize), Some(5), Some(22), Some(100), Some(500), None] {
+            let config = opts.tree_config().with_reset_threshold(tr);
+            let mut t: BpTree<u64, u64> = BpTree::with_config(FastPathMode::Pole, config);
+            for (i, &key) in keys.iter().enumerate() {
+                t.insert(key, i as u64);
+            }
+            rows.push(vec![
+                label.to_string(),
+                tr.map_or("off".into(), |v| v.to_string()),
+                format!("{:.1}", t.stats().fast_insert_fraction() * 100.0),
+                format!("{}", t.stats().fp_resets.get()),
+            ]);
+        }
+    }
+    print_table(
+        &format!("reset threshold T_R sensitivity (N={n}, paper default 22)"),
+        &["workload", "T_R", "% fast-inserts", "resets"],
+        &rows,
+    );
+    println!(
+        "\nnote: K values shown are {}% and {}% out-of-order entries",
+        pct(workloads[0].0),
+        pct(workloads[1].0)
+    );
+}

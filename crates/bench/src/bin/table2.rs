@@ -1,0 +1,31 @@
+//! Table 2: space reduction of QuIT over the B+-tree baselines (tail and
+//! ℓiℓ split 50/50 like the classical tree, so they share its footprint).
+
+use bods::BodsSpec;
+use quit_bench::{ingest, pct, print_table, Opts, K_GRID};
+use quit_core::Variant;
+
+fn main() {
+    let opts = Opts::from_args();
+    let n = opts.n;
+    let mut rows = Vec::new();
+    for &k in &K_GRID {
+        let keys = BodsSpec::new(n, k, 1.0).with_seed(opts.seed).generate();
+        let classic = ingest(Variant::Classic, opts.tree_config(), &keys);
+        let quit = ingest(Variant::Quit, opts.tree_config(), &keys);
+        let mc = classic.tree.memory_report();
+        let mq = quit.tree.memory_report();
+        rows.push(vec![
+            pct(k),
+            format!("{:.1}", mc.paged_bytes as f64 / (1 << 20) as f64),
+            format!("{:.1}", mq.paged_bytes as f64 / (1 << 20) as f64),
+            format!("{:.2}x", mc.paged_bytes as f64 / mq.paged_bytes as f64),
+        ]);
+    }
+    print_table(
+        &format!("Table 2 — space reduction of QuIT over B+-tree (N={n})"),
+        &["K (%)", "B+-tree MiB", "QuIT MiB", "reduction"],
+        &rows,
+    );
+    println!("\npaper: 1.96x at K=0, 1.5x/1.41x/1.32x/1.16x at 1/3/5/10%, ~1x at 50-100%");
+}

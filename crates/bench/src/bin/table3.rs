@@ -1,0 +1,46 @@
+//! Table 3: QuIT scales with data size — ingestion speedup over the
+//! classical B+-tree and the fraction of fast-inserts, for fully sorted,
+//! nearly sorted (K=L=5%), and less sorted (K=L=25%) streams as N grows.
+
+use bods::BodsSpec;
+use quit_bench::{ingest_reps, print_table, Opts};
+use quit_core::Variant;
+
+fn main() {
+    let opts = Opts::from_args();
+    // Paper scales 50M→4B; default harness scales n/4 → 4n.
+    let sizes: Vec<usize> = [1, 2, 4, 8, 16]
+        .iter()
+        .map(|m| opts.n * m / 4)
+        .filter(|&s| s >= 10_000)
+        .collect();
+    let workloads = [
+        ("fully sorted", 0.0, 1.0),
+        ("nearly sorted", 0.05, 0.05),
+        ("less sorted", 0.25, 0.25),
+    ];
+    let mut rows = Vec::new();
+    for (label, k, l) in workloads {
+        for &n in &sizes {
+            let keys = BodsSpec::new(n, k, l).with_seed(opts.seed).generate();
+            let base = ingest_reps(Variant::Classic, opts.tree_config(), &keys, opts.reps);
+            let quit = ingest_reps(Variant::Quit, opts.tree_config(), &keys, opts.reps);
+            rows.push(vec![
+                label.to_string(),
+                format!("{:.1}M", n as f64 / 1e6),
+                format!(
+                    "{:.2}x",
+                    base.elapsed.as_secs_f64() / quit.elapsed.as_secs_f64()
+                ),
+                format!("{:.1}", quit.tree.stats().fast_insert_fraction() * 100.0),
+            ]);
+        }
+    }
+    print_table(
+        "Table 3 — QuIT scales with data size",
+        &["workload", "N", "speedup", "% fast-inserts"],
+        &rows,
+    );
+    println!("\npaper: speedup 3.13→3.31x (sorted), 2.43→2.77x (nearly), 1.31→1.35x");
+    println!("       (less); fast-inserts flat at 100% / 95.2% / ~75% across sizes");
+}

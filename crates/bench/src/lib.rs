@@ -1,0 +1,273 @@
+//! # quit-bench — the experiment harness
+//!
+//! One runnable binary per table and figure of the paper's evaluation (§5),
+//! plus Criterion micro-benchmarks. Every binary prints the same rows or
+//! series the paper reports, at a container-friendly default scale that the
+//! `--n` flag (or `QUIT_BENCH_N`) raises to paper scale.
+//!
+//! | binary   | reproduces |
+//! |----------|------------|
+//! | `fig1a`  | Fig 1a — insert/lookup latency teaser (tail vs SWARE vs QuIT) |
+//! | `fig3`   | Fig 3 — tail-B+-tree fast-insert fraction vs K |
+//! | `fig5`   | Fig 5a/5b — ℓiℓ vs tail, plus the analytic model |
+//! | `fig8`   | Fig 8 — ingestion speedup vs classical B+-tree |
+//! | `fig9`   | Fig 9 — fast- vs top-insert fractions |
+//! | `fig10`  | Fig 10a/b/c — occupancy, point lookups, range accesses |
+//! | `fig11`  | Fig 11 — K×L heatmaps (fast inserts, occupancy) |
+//! | `fig12`  | Fig 12 — alternating-sortedness stress test |
+//! | `fig13`  | Fig 13 — concurrent scaling |
+//! | `fig14`  | Fig 14 — SWARE vs QuIT latencies |
+//! | `fig15`  | Fig 15 — real-world (synthetic stock) ingestion |
+//! | `table2` | Table 2 — space reduction |
+//! | `table3` | Table 3 — scalability with data size |
+//! | `sensitivity` | extra: IKR-scale and `T_R` tuning sweeps (§4.4's "little to no tuning") |
+
+#![warn(missing_docs)]
+
+use quit_core::{BpTree, TreeConfig, Variant};
+use std::time::{Duration, Instant};
+
+/// Common command-line options shared by the figure binaries.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Base dataset size (entries). Paper default is 500M; harness default
+    /// is 2M.
+    pub n: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Leaf/internal capacity (510 = paper's 4 KB pages).
+    pub leaf_capacity: usize,
+    /// Max threads for concurrency experiments.
+    pub max_threads: usize,
+    /// Repetitions for wall-clock measurements; the best run is kept
+    /// (noisy-neighbour mitigation on shared CPUs).
+    pub reps: usize,
+    /// Quick mode: shrink everything ~10× (CI smoke runs).
+    pub quick: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            n: 2_000_000,
+            seed: 0xB0D5,
+            leaf_capacity: 510,
+            max_threads: 16,
+            reps: 3,
+            quick: false,
+        }
+    }
+}
+
+impl Opts {
+    /// Parses `--n`, `--seed`, `--leaf-capacity`, `--threads`, `--quick`
+    /// from the process arguments (and `QUIT_BENCH_N` from the
+    /// environment).
+    pub fn from_args() -> Self {
+        let mut o = Opts::default();
+        if let Ok(n) = std::env::var("QUIT_BENCH_N") {
+            if let Ok(n) = n.parse() {
+                o.n = n;
+            }
+        }
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            let take = |i: usize| args.get(i + 1).and_then(|v| v.parse::<u64>().ok());
+            match args[i].as_str() {
+                "--n" => {
+                    if let Some(v) = take(i) {
+                        o.n = v as usize;
+                        i += 1;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = take(i) {
+                        o.seed = v;
+                        i += 1;
+                    }
+                }
+                "--leaf-capacity" => {
+                    if let Some(v) = take(i) {
+                        o.leaf_capacity = v as usize;
+                        i += 1;
+                    }
+                }
+                "--threads" => {
+                    if let Some(v) = take(i) {
+                        o.max_threads = v as usize;
+                        i += 1;
+                    }
+                }
+                "--reps" => {
+                    if let Some(v) = take(i) {
+                        o.reps = (v as usize).max(1);
+                        i += 1;
+                    }
+                }
+                "--quick" => o.quick = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --n <entries> --seed <u64> --leaf-capacity <n> --threads <n> --quick"
+                    );
+                    std::process::exit(0);
+                }
+                other => eprintln!("ignoring unknown option {other}"),
+            }
+            i += 1;
+        }
+        if o.quick {
+            o.n = (o.n / 10).max(10_000);
+        }
+        o
+    }
+
+    /// Tree geometry derived from the options.
+    pub fn tree_config(&self) -> TreeConfig {
+        TreeConfig::paper_default().with_leaf_capacity(self.leaf_capacity)
+    }
+}
+
+/// Result of ingesting a workload into one index variant.
+pub struct IngestRun {
+    /// The populated tree.
+    pub tree: BpTree<u64, u64>,
+    /// Wall-clock ingest time.
+    pub elapsed: Duration,
+    /// Nanoseconds per insert.
+    pub ns_per_insert: f64,
+}
+
+/// Builds `variant` and ingests `keys` (values = arrival positions).
+pub fn ingest(variant: Variant, config: TreeConfig, keys: &[u64]) -> IngestRun {
+    ingest_reps(variant, config, keys, 1)
+}
+
+/// Like [`ingest`], repeated `reps` times keeping the fastest wall clock
+/// (the returned tree is from the final repetition; its contents and
+/// counters are identical across repetitions).
+pub fn ingest_reps(variant: Variant, config: TreeConfig, keys: &[u64], reps: usize) -> IngestRun {
+    let mut best: Option<Duration> = None;
+    let mut tree = variant.build::<u64, u64>(config.clone());
+    for rep in 0..reps.max(1) {
+        if rep > 0 {
+            tree = variant.build::<u64, u64>(config.clone());
+        }
+        let start = Instant::now();
+        for (i, &k) in keys.iter().enumerate() {
+            tree.insert(k, i as u64);
+        }
+        let elapsed = start.elapsed();
+        best = Some(best.map_or(elapsed, |b| b.min(elapsed)));
+    }
+    let elapsed = best.expect("at least one repetition");
+    IngestRun {
+        ns_per_insert: elapsed.as_nanos() as f64 / keys.len().max(1) as f64,
+        tree,
+        elapsed,
+    }
+}
+
+/// Runs `f` `reps` times and returns the fastest wall clock.
+pub fn time_best<F: FnMut()>(reps: usize, mut f: F) -> Duration {
+    let mut best: Option<Duration> = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f();
+        let elapsed = start.elapsed();
+        best = Some(best.map_or(elapsed, |b| b.min(elapsed)));
+    }
+    best.expect("at least one repetition")
+}
+
+/// Times point lookups for every probe key; returns nanoseconds per lookup.
+pub fn time_point_lookups(tree: &BpTree<u64, u64>, probes: &[u64]) -> f64 {
+    let start = Instant::now();
+    let mut hits = 0usize;
+    for &k in probes {
+        if tree.get(k).is_some() {
+            hits += 1;
+        }
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(hits);
+    elapsed.as_nanos() as f64 / probes.len().max(1) as f64
+}
+
+/// Pretty-prints a table with a header row.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let joined: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("  {}", joined.join("  "));
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// The K values (percent out-of-order) of Figs 8, 9, 10, 14 and Table 2.
+pub const K_GRID: [f64; 8] = [0.0, 0.01, 0.03, 0.05, 0.10, 0.25, 0.50, 1.00];
+
+/// Formats a fraction as a percent label like the paper axes.
+pub fn pct(f: f64) -> String {
+    if f == 0.0 {
+        "0".into()
+    } else if f < 0.01 {
+        format!("{:.2}", f * 100.0)
+    } else {
+        format!("{:.0}", f * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingest_runs_and_counts() {
+        let keys = bods::BodsSpec::new(20_000, 0.05, 1.0).generate();
+        let run = ingest(Variant::Quit, TreeConfig::small(64), &keys);
+        assert_eq!(run.tree.len(), 20_000);
+        assert!(run.ns_per_insert > 0.0);
+        run.tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn lookup_timer_finds_keys() {
+        let keys: Vec<u64> = (0..10_000).collect();
+        let run = ingest(Variant::Classic, TreeConfig::small(64), &keys);
+        let probes = bods::point_lookup_keys(10_000, 1000, 7);
+        let ns = time_point_lookups(&run.tree, &probes);
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.0), "0");
+        assert_eq!(pct(0.05), "5");
+        assert_eq!(pct(0.001), "0.10");
+        assert_eq!(pct(1.0), "100");
+    }
+
+    #[test]
+    fn default_opts() {
+        let o = Opts::default();
+        assert_eq!(o.n, 2_000_000);
+        assert_eq!(o.tree_config().leaf_capacity, 510);
+    }
+}

@@ -1,0 +1,102 @@
+//! `bods` — command-line workload tool.
+//!
+//! ```text
+//! bods gen     --n 1000000 --k 0.05 --l 1.0 [--alpha 1 --beta 1 --seed 7] [--out keys.txt]
+//! bods stock   nifty|spxusd [--n 100000] [--out ticks.txt]
+//! bods measure <file>        # one integer key per line; prints K-L metrics
+//! ```
+
+use bods::{measure, BodsSpec, StockSpec};
+use std::io::{BufRead, BufWriter, Write};
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    arg_value(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn write_keys(keys: &[u64], out: Option<String>) -> std::io::Result<()> {
+    match out {
+        Some(path) => {
+            let mut w = BufWriter::new(std::fs::File::create(path)?);
+            for k in keys {
+                writeln!(w, "{k}")?;
+            }
+            w.flush()
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut w = BufWriter::new(stdout.lock());
+            for k in keys {
+                writeln!(w, "{k}")?;
+            }
+            w.flush()
+        }
+    }
+}
+
+fn report(keys: &[u64]) {
+    let m = measure(keys);
+    eprintln!(
+        "{} entries: K={} ({:.2}%), L={} ({:.2}%), adjacent inversions {:.2}%",
+        keys.len(),
+        m.k,
+        m.k_fraction * 100.0,
+        m.l,
+        m.l_fraction * 100.0,
+        bods::adjacent_inversion_fraction(keys) * 100.0,
+    );
+}
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => {
+            let spec = BodsSpec::new(
+                parse(&args, "--n", 1_000_000usize),
+                parse(&args, "--k", 0.05f64),
+                parse(&args, "--l", 1.0f64),
+            )
+            .with_skew(parse(&args, "--alpha", 1.0), parse(&args, "--beta", 1.0))
+            .with_seed(parse(&args, "--seed", 0xB0D5u64));
+            let keys = spec.generate();
+            report(&keys);
+            write_keys(&keys, arg_value(&args, "--out"))
+        }
+        Some("stock") => {
+            let mut spec = match args.get(1).map(String::as_str) {
+                Some("spxusd") => StockSpec::spxusd(),
+                _ => StockSpec::nifty(),
+            };
+            if let Some(n) = arg_value(&args, "--n").and_then(|v| v.parse().ok()) {
+                spec = spec.scaled(n);
+            }
+            let keys = spec.generate_ticks();
+            report(&keys);
+            write_keys(&keys, arg_value(&args, "--out"))
+        }
+        Some("measure") => {
+            let path = args.get(1).expect("usage: bods measure <file>");
+            let file = std::io::BufReader::new(std::fs::File::open(path)?);
+            let keys: Vec<u64> = file
+                .lines()
+                .map_while(Result::ok)
+                .filter_map(|l| l.trim().parse().ok())
+                .collect();
+            report(&keys);
+            Ok(())
+        }
+        _ => {
+            eprintln!(
+                "usage:\n  bods gen --n <entries> --k <frac> --l <frac> [--alpha A --beta B --seed S] [--out FILE]\n  bods stock nifty|spxusd [--n N] [--out FILE]\n  bods measure <FILE>"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Minimal distribution samplers (Beta via Gamma), so the generator matches
+//! BoDS's (α, β) skew parameter without pulling in `rand_distr`.
+
+use rand::Rng;
+
+/// Samples `Gamma(shape, 1)` with the Marsaglia–Tsang method, boosting
+/// `shape < 1` the standard way.
+pub fn gamma_sample<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^(1/a)
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        return gamma_sample(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Box–Muller.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = 1.0 + c * z;
+        if v <= 0.0 {
+            continue;
+        }
+        let v3 = v * v * v;
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        if u.ln() < 0.5 * z * z + d - d * v3 + d * v3.ln() {
+            return d * v3;
+        }
+    }
+}
+
+/// Samples `Beta(alpha, beta)` in `[0, 1)`. The uniform case (α = β = 1) is
+/// special-cased because it dominates BoDS workloads.
+pub fn beta_sample<R: Rng + ?Sized>(rng: &mut R, alpha: f64, beta: f64) -> f64 {
+    assert!(
+        alpha > 0.0 && beta > 0.0,
+        "beta parameters must be positive"
+    );
+    if alpha == 1.0 && beta == 1.0 {
+        return rng.gen_range(0.0..1.0);
+    }
+    let x = gamma_sample(rng, alpha);
+    let y = gamma_sample(rng, beta);
+    let v = x / (x + y);
+    v.clamp(0.0, 1.0 - f64::EPSILON)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn mean_of(samples: &[f64]) -> f64 {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+
+    #[test]
+    fn uniform_case_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s: Vec<f64> = (0..20_000)
+            .map(|_| beta_sample(&mut rng, 1.0, 1.0))
+            .collect();
+        let m = mean_of(&s);
+        assert!((m - 0.5).abs() < 0.02, "mean {m}");
+        assert!(s.iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn beta_mean_matches_formula() {
+        // E[Beta(a,b)] = a / (a + b)
+        let mut rng = StdRng::seed_from_u64(2);
+        for (a, b) in [(2.0, 5.0), (5.0, 2.0), (0.5, 0.5), (3.0, 3.0)] {
+            let s: Vec<f64> = (0..30_000).map(|_| beta_sample(&mut rng, a, b)).collect();
+            let expect = a / (a + b);
+            let m = mean_of(&s);
+            assert!(
+                (m - expect).abs() < 0.02,
+                "Beta({a},{b}) mean {m}, expect {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for shape in [0.5, 1.0, 2.5, 7.0] {
+            let s: Vec<f64> = (0..30_000).map(|_| gamma_sample(&mut rng, shape)).collect();
+            let m = mean_of(&s);
+            assert!(
+                (m - shape).abs() < 0.1 * shape.max(1.0),
+                "Gamma({shape}) mean {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_beta_skews_positions() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // α=5, β=1 pushes mass to the right.
+        let s: Vec<f64> = (0..10_000)
+            .map(|_| beta_sample(&mut rng, 5.0, 1.0))
+            .collect();
+        let frac_high = s.iter().filter(|&&v| v > 0.5).count() as f64 / s.len() as f64;
+        assert!(frac_high > 0.9, "frac_high {frac_high}");
+    }
+}

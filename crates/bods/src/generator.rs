@@ -1,0 +1,291 @@
+//! The BoDS workload generator (paper §5 "Workloads"): produces a family of
+//! differently sorted streams parameterized by the K–L-sortedness metric.
+//!
+//! A fully sorted run of `n` keys is perturbed until `K·n` entries are out
+//! of place, each displaced by at most `L·n` positions. Displacements are
+//! realized as pairwise swaps at distance `d ~ U(1, L·n)` whose positions
+//! are drawn from `Beta(α, β)` (α = β = 1 ⇒ uniform, the paper's default);
+//! each swap takes both participants out of place. `K = 100%` is a full
+//! Fisher–Yates shuffle.
+
+use crate::distribution::beta_sample;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Parameters of a BoDS workload (paper: `N`, `K`, `L`, `(α, β)`, seed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BodsSpec {
+    /// Number of entries to generate.
+    pub n: usize,
+    /// Fraction (0..=1) of entries out of place.
+    pub k_fraction: f64,
+    /// Maximum displacement as a fraction (0..=1) of `n`.
+    pub l_fraction: f64,
+    /// Beta skew of swap positions; 1.0 ⇒ uniform.
+    pub alpha: f64,
+    /// Beta skew of swap positions; 1.0 ⇒ uniform.
+    pub beta: f64,
+    /// PRNG seed (streams are fully deterministic given the spec).
+    pub seed: u64,
+}
+
+impl BodsSpec {
+    /// A spec with the paper's defaults (`α = β = 1`, `L = 100%`).
+    pub fn new(n: usize, k_fraction: f64, l_fraction: f64) -> Self {
+        BodsSpec {
+            n,
+            k_fraction,
+            l_fraction,
+            alpha: 1.0,
+            beta: 1.0,
+            seed: 0xB0D5,
+        }
+    }
+
+    /// Builder-style override of the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style override of the Beta skew.
+    pub fn with_skew(mut self, alpha: f64, beta: f64) -> Self {
+        self.alpha = alpha;
+        self.beta = beta;
+        self
+    }
+
+    /// Generates the key stream `0..n` perturbed to the spec.
+    pub fn generate(&self) -> Vec<u64> {
+        self.generate_from_base(&mut (0..self.n as u64))
+    }
+
+    /// Generates a stream whose sorted content is `base` (consumed in
+    /// order). Useful for keys with custom spacing or domains.
+    pub fn generate_from_base(&self, base: &mut dyn Iterator<Item = u64>) -> Vec<u64> {
+        assert!(
+            (0.0..=1.0).contains(&self.k_fraction),
+            "K must be a fraction in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.l_fraction),
+            "L must be a fraction in [0, 1]"
+        );
+        let mut keys: Vec<u64> = base.take(self.n).collect();
+        let n = keys.len();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        if n < 2 || self.k_fraction == 0.0 {
+            return keys;
+        }
+        if self.k_fraction >= 1.0 {
+            keys.shuffle(&mut rng);
+            return keys;
+        }
+        let k_count = ((self.k_fraction * n as f64).round() as usize).min(n);
+        let max_disp = ((self.l_fraction * n as f64).round() as usize).max(1);
+        let swaps = k_count / 2;
+        let mut used = vec![false; n];
+        let mut done = 0usize;
+        let mut attempts = 0usize;
+        let attempt_budget = swaps.saturating_mul(64) + 1024;
+        while done < swaps && attempts < attempt_budget {
+            attempts += 1;
+            let d = rng.gen_range(1..=max_disp);
+            if d >= n {
+                continue;
+            }
+            let span = n - d;
+            let i = (beta_sample(&mut rng, self.alpha, self.beta) * span as f64) as usize;
+            let j = i + d;
+            if used[i] || used[j] {
+                continue;
+            }
+            keys.swap(i, j);
+            used[i] = true;
+            used[j] = true;
+            done += 1;
+        }
+        // Dense fallback for pathological parameter corners (e.g. very high
+        // K with tiny L): sweep deterministically for free pairs.
+        if done < swaps {
+            'outer: for d in (1..=max_disp.min(n - 1)).rev() {
+                for i in 0..n - d {
+                    if done >= swaps {
+                        break 'outer;
+                    }
+                    if !used[i] && !used[i + d] {
+                        keys.swap(i, i + d);
+                        used[i] = true;
+                        used[i + d] = true;
+                        done += 1;
+                    }
+                }
+            }
+        }
+        keys
+    }
+
+    /// Generates `(key, value)` pairs; values are the arrival positions,
+    /// matching the paper's 8-byte integer K-V entries.
+    pub fn generate_entries(&self) -> Vec<(u64, u64)> {
+        self.generate()
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (k, i as u64))
+            .collect()
+    }
+}
+
+/// A Fig 12 stress workload: consecutive segments that alternate between
+/// sortedness levels, over disjoint increasing key ranges.
+///
+/// `segments` lists `(entries, k_fraction)` per segment; segment `s` draws
+/// its keys from `[s·entries, (s+1)·entries)` so the overall stream trends
+/// upward like Fig 12a.
+pub fn segmented_workload(segments: &[(usize, f64)], seed: u64) -> Vec<u64> {
+    let mut out = Vec::with_capacity(segments.iter().map(|s| s.0).sum());
+    let mut offset = 0u64;
+    for (idx, &(n, k)) in segments.iter().enumerate() {
+        let spec =
+            BodsSpec::new(n, k, 1.0).with_seed(seed ^ (idx as u64).wrapping_mul(0x9E37_79B9));
+        let mut base = offset..offset + n as u64;
+        out.extend(spec.generate_from_base(&mut base));
+        offset += n as u64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::measure;
+
+    #[test]
+    fn fully_sorted() {
+        let keys = BodsSpec::new(1000, 0.0, 1.0).generate();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(keys.len(), 1000);
+    }
+
+    #[test]
+    fn realized_k_matches_spec() {
+        for k in [0.01, 0.05, 0.10, 0.25, 0.50] {
+            let keys = BodsSpec::new(50_000, k, 1.0).generate();
+            let m = measure(&keys);
+            let err = (m.k_fraction - k).abs();
+            assert!(err < 0.02, "requested K={k}, realized {}", m.k_fraction);
+        }
+    }
+
+    #[test]
+    fn realized_l_respects_bound() {
+        for l in [0.01, 0.05, 0.25] {
+            let keys = BodsSpec::new(20_000, 0.10, l).generate();
+            let m = measure(&keys);
+            assert!(
+                m.l_fraction <= l + 1e-9,
+                "requested L={l}, realized {}",
+                m.l_fraction
+            );
+            // And the bound is actually approached.
+            assert!(m.l_fraction > l * 0.5, "L too small: {}", m.l_fraction);
+        }
+    }
+
+    #[test]
+    fn full_scramble() {
+        let keys = BodsSpec::new(10_000, 1.0, 1.0).generate();
+        let m = measure(&keys);
+        assert!(m.k_fraction > 0.99, "K={}", m.k_fraction);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10_000u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = BodsSpec::new(5000, 0.1, 1.0).with_seed(7).generate();
+        let b = BodsSpec::new(5000, 0.1, 1.0).with_seed(7).generate();
+        let c = BodsSpec::new(5000, 0.1, 1.0).with_seed(8).generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stream_is_a_permutation() {
+        for k in [0.05, 0.5, 1.0] {
+            let keys = BodsSpec::new(8192, k, 0.3).generate();
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..8192u64).collect::<Vec<_>>(), "K={k}");
+        }
+    }
+
+    #[test]
+    fn skewed_positions_cluster() {
+        // α=8, β=1 concentrates disorder near the end of the stream.
+        let keys = BodsSpec::new(40_000, 0.2, 0.02)
+            .with_skew(8.0, 1.0)
+            .generate();
+        let mid = keys.len() / 2;
+        let front = crate::metric::adjacent_inversions(&keys[..mid]);
+        let back = crate::metric::adjacent_inversions(&keys[mid..]);
+        assert!(back > front * 3, "front {front}, back {back}");
+    }
+
+    #[test]
+    fn entries_carry_arrival_positions() {
+        let entries = BodsSpec::new(100, 0.0, 1.0).generate_entries();
+        assert_eq!(entries[5], (5, 5));
+        assert_eq!(entries.len(), 100);
+    }
+
+    #[test]
+    fn segmented_alternation() {
+        let w = segmented_workload(&[(1000, 0.1), (1000, 1.0), (1000, 0.1)], 42);
+        assert_eq!(w.len(), 3000);
+        // Each segment occupies its own key range.
+        assert!(w[..1000].iter().all(|&k| k < 1000));
+        assert!(w[1000..2000].iter().all(|&k| (1000..2000).contains(&k)));
+        // Middle segment is scrambled, outer ones nearly sorted.
+        let inv_a = crate::metric::adjacent_inversion_fraction(&w[..1000]);
+        let inv_b = crate::metric::adjacent_inversion_fraction(&w[1000..2000]);
+        assert!(inv_b > inv_a * 3.0, "a={inv_a} b={inv_b}");
+    }
+
+    #[test]
+    fn tiny_streams_do_not_panic() {
+        for n in 0..5 {
+            let keys = BodsSpec::new(n, 0.5, 0.5).generate();
+            assert_eq!(keys.len(), n);
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        /// For any parameters the stream is a permutation of 0..n, realized
+        /// K approximates the request, and L never exceeds the bound.
+        #[test]
+        fn generator_contract(
+            n in 64usize..4096,
+            k_milli in 0usize..=1000,
+            l_milli in 1usize..=1000,
+            seed in proptest::prelude::any::<u64>(),
+        ) {
+            let k = k_milli as f64 / 1000.0;
+            let l = l_milli as f64 / 1000.0;
+            let keys = BodsSpec::new(n, k, l).with_seed(seed).generate();
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            proptest::prop_assert_eq!(sorted, (0..n as u64).collect::<Vec<_>>());
+            let m = measure(&keys);
+            if k < 1.0 {
+                proptest::prop_assert!(m.l_fraction <= l + 1.0 / n as f64 + 1e-9,
+                    "L bound: asked {}, got {}", l, m.l_fraction);
+                proptest::prop_assert!((m.k_fraction - k).abs() < 0.05 + 4.0 / n as f64,
+                    "K: asked {}, got {}", k, m.k_fraction);
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! # bods — Benchmark on Data Sortedness
+//!
+//! A reimplementation of the BoDS workload generator (Raman et al., TPCTC
+//! 2022) that the QuIT paper uses for its entire evaluation: data streams
+//! with controlled *K–L sortedness* — `K·n` entries out of place, displaced
+//! by at most `L·n` positions, with Beta(α, β)-distributed disorder
+//! positions — plus the measurement side of the metric, Fig 12's
+//! alternating-segment stress workloads, and synthetic stand-ins for the
+//! Fig 15 stock-price datasets.
+//!
+//! ```
+//! use bods::{BodsSpec, measure};
+//!
+//! // 100k entries, 5% out of place, displaced up to 100% of the stream.
+//! let stream = BodsSpec::new(100_000, 0.05, 1.0).generate();
+//! let realized = measure(&stream);
+//! assert!((realized.k_fraction - 0.05).abs() < 0.01);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod distribution;
+mod generator;
+mod metric;
+pub mod stock;
+
+pub use generator::{segmented_workload, BodsSpec};
+pub use metric::{
+    adjacent_inversion_fraction, adjacent_inversions, measure, measure_windowed, Sortedness,
+};
+pub use stock::StockSpec;
+
+/// Generates the query workload of §5: `count` point-lookup keys drawn
+/// uniformly at random from the existing keys of a BoDS stream of length
+/// `n` (i.e. the integers `0..n`).
+pub fn point_lookup_keys(n: usize, count: usize, seed: u64) -> Vec<u64> {
+    use rand::prelude::*;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..count).map(|_| rng.gen_range(0..n as u64)).collect()
+}
+
+/// Generates `count` range-lookup bounds with selectivity `sel`
+/// (fraction of the key domain `0..n` each range spans), uniformly placed.
+pub fn range_lookup_bounds(n: usize, count: usize, sel: f64, seed: u64) -> Vec<(u64, u64)> {
+    use rand::prelude::*;
+    assert!(sel > 0.0 && sel <= 1.0, "selectivity must be in (0, 1]");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let span = ((n as f64 * sel).round() as u64).max(1);
+    (0..count)
+        .map(|_| {
+            let start = rng.gen_range(0..(n as u64).saturating_sub(span).max(1));
+            (start, start + span)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_keys_in_domain() {
+        let keys = point_lookup_keys(1000, 500, 1);
+        assert_eq!(keys.len(), 500);
+        assert!(keys.iter().all(|&k| k < 1000));
+    }
+
+    #[test]
+    fn range_bounds_have_requested_span() {
+        let ranges = range_lookup_bounds(10_000, 100, 0.01, 2);
+        assert!(ranges.iter().all(|&(s, e)| e - s == 100 && s < 10_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "selectivity")]
+    fn zero_selectivity_rejected() {
+        range_lookup_bounds(1000, 1, 0.0, 3);
+    }
+}

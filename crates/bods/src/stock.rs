@@ -1,0 +1,218 @@
+//! Synthetic intraday stock price streams standing in for the paper's
+//! Fig 15 datasets (NIFTY and SPXUSD one-minute closing prices), which are
+//! fetched from GitHub in the original and unavailable offline.
+//!
+//! The generator reproduces the property the experiment depends on — "an
+//! overall upward trend that intuitively implies near-sortedness" — as a
+//! log-space trend from the series' start price to its end price, plus a
+//! slow mean-reverting wiggle (the multi-month swings visible in Fig 15a/b)
+//! and a small per-bar jitter. The jitter-to-drift ratio controls how
+//! *locally* sorted the stream is; the default keeps the stream
+//! trend-dominated (bar-level inversions well under 50%), matching the
+//! regime in which the paper's experiment differentiates the indexes. Crank
+//! [`StockSpec::jitter_ratio`] above ~3 to study the noise-dominated regime
+//! instead, where price oscillation defeats any *directional* predictor.
+//!
+//! Prices are emitted as integer ticks (price × 100) so they can be indexed
+//! as `u64` keys exactly like the paper's 4-byte integer keys.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Parameters of a synthetic instrument.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StockSpec {
+    /// Number of one-minute bars to emit.
+    pub n: usize,
+    /// Price of the first bar (currency units).
+    pub start_price: f64,
+    /// Price the trend reaches by the last bar.
+    pub end_price: f64,
+    /// Amplitude of the slow wiggle as a fraction of price. The default
+    /// puts the wiggle's downslope a few times above the per-bar drift, so
+    /// the series has sustained drawdown phases like real index data — the
+    /// stretches that strand the tail-leaf fast path in Fig 15.
+    pub wiggle_amplitude: f64,
+    /// Characteristic period of the slow wiggle, in bars.
+    pub wiggle_period: usize,
+    /// Per-bar white-noise standard deviation as a multiple of the per-bar
+    /// trend drift. `< 1` ⇒ trend-dominated (near-sorted); `> 3` ⇒
+    /// noise-dominated (locally scrambled).
+    pub jitter_ratio: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl StockSpec {
+    /// A NIFTY-like instrument: ≈1.4M minutes climbing ≈2k → ≈20k
+    /// (Fig 15a's scale).
+    pub fn nifty() -> Self {
+        StockSpec {
+            n: 1_400_000,
+            start_price: 2_000.0,
+            end_price: 20_000.0,
+            wiggle_amplitude: 0.02,
+            wiggle_period: 60_000,
+            jitter_ratio: 0.8,
+            seed: 0x4E49_4654,
+        }
+    }
+
+    /// An SPXUSD-like instrument: ≈2.2M minutes climbing ≈700 → ≈2900
+    /// (Fig 15b's scale).
+    pub fn spxusd() -> Self {
+        StockSpec {
+            n: 2_200_000,
+            start_price: 700.0,
+            end_price: 2_900.0,
+            wiggle_amplitude: 0.025,
+            wiggle_period: 90_000,
+            jitter_ratio: 0.8,
+            seed: 0x5350_5855,
+        }
+    }
+
+    /// Scales the series length, keeping the same start/end prices and the
+    /// same number of wiggle cycles, so reduced-size runs preserve shape.
+    pub fn scaled(mut self, n: usize) -> Self {
+        assert!(n >= 2, "series needs at least 2 bars");
+        let ratio = n as f64 / self.n as f64;
+        self.wiggle_period = ((self.wiggle_period as f64 * ratio) as usize).max(2);
+        self.n = n;
+        self
+    }
+
+    /// Builder-style override of the jitter-to-drift ratio.
+    pub fn with_jitter_ratio(mut self, ratio: f64) -> Self {
+        assert!(ratio >= 0.0, "jitter ratio must be non-negative");
+        self.jitter_ratio = ratio;
+        self
+    }
+
+    /// Generates the closing-price series in ticks (price × 100).
+    pub fn generate_ticks(&self) -> Vec<u64> {
+        assert!(self.start_price > 0.0 && self.end_price > 0.0);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = self.n;
+        let drift = (self.end_price / self.start_price).ln() / n as f64;
+        // Slow wiggle: a sum of three smooth sinusoids with random phases.
+        // Smoothness matters — its per-bar slope (not white noise) is what
+        // creates sustained bull/bear phases; the descending stretches are
+        // the stream segments that strand the tail fast path.
+        let tau = 2.0 * std::f64::consts::PI;
+        let components: [(f64, f64); 3] = [(1.0, 1.0), (3.1, 0.5), (8.7, 0.25)];
+        let phases: Vec<f64> = (0..components.len())
+            .map(|_| rng.gen_range(0.0..tau))
+            .collect();
+        let period = self.wiggle_period.max(2) as f64;
+        let jitter_sigma = drift.abs() * self.jitter_ratio;
+        let normal = |rng: &mut StdRng| -> f64 {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        let log_start = self.start_price.ln();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = i as f64;
+            let wiggle: f64 = components
+                .iter()
+                .zip(&phases)
+                .map(|(&(freq, amp), &phase)| amp * (tau * freq * t / period + phase).sin())
+                .sum();
+            let log_price = log_start
+                + drift * t
+                + self.wiggle_amplitude * wiggle
+                + jitter_sigma * normal(&mut rng);
+            let price = log_price.exp();
+            out.push((price * 100.0).round().max(1.0) as u64);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric;
+
+    #[test]
+    fn nifty_like_series_trends_up() {
+        let spec = StockSpec::nifty().scaled(50_000);
+        let ticks = spec.generate_ticks();
+        assert_eq!(ticks.len(), 50_000);
+        let start = ticks[..100].iter().sum::<u64>() / 100;
+        let end = ticks[ticks.len() - 100..].iter().sum::<u64>() / 100;
+        // Roughly 10x over the series, like Fig 15a.
+        assert!(end > start * 5, "start {start}, end {end}");
+    }
+
+    #[test]
+    fn series_is_near_sorted_not_sorted() {
+        let ticks = StockSpec::spxusd().scaled(50_000).generate_ticks();
+        let inv = metric::adjacent_inversion_fraction(&ticks);
+        // Wiggles and jitter produce real local inversions…
+        assert!(inv > 0.02, "inversions {inv}");
+        // …but the trend dominates: most bars move up.
+        assert!(inv < 0.48, "inversions {inv}");
+        // Global near-sortedness: bounded displacement.
+        let m = metric::measure(&ticks);
+        assert!(
+            m.l_fraction < 0.35,
+            "max displacement should be a bounded fraction, got {}",
+            m.l_fraction
+        );
+    }
+
+    #[test]
+    fn jitter_ratio_controls_local_disorder() {
+        let calm = StockSpec::nifty()
+            .scaled(30_000)
+            .with_jitter_ratio(0.2)
+            .generate_ticks();
+        let noisy = StockSpec::nifty()
+            .scaled(30_000)
+            .with_jitter_ratio(20.0)
+            .generate_ticks();
+        let inv_calm = metric::adjacent_inversion_fraction(&calm);
+        let inv_noisy = metric::adjacent_inversion_fraction(&noisy);
+        assert!(
+            inv_noisy > inv_calm + 0.08,
+            "calm {inv_calm}, noisy {inv_noisy}"
+        );
+        assert!(inv_noisy > 0.4, "noise-dominated regime: {inv_noisy}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = StockSpec::nifty().scaled(5_000).generate_ticks();
+        let b = StockSpec::nifty().scaled(5_000).generate_ticks();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_scale_lengths_match_paper() {
+        assert_eq!(StockSpec::nifty().n, 1_400_000);
+        assert_eq!(StockSpec::spxusd().n, 2_200_000);
+    }
+
+    #[test]
+    fn prices_stay_positive_and_bounded() {
+        let ticks = StockSpec::spxusd().scaled(20_000).generate_ticks();
+        assert!(ticks.iter().all(|&t| t > 0));
+        // Wiggle + jitter never dwarf the price scale.
+        let max = *ticks.iter().max().expect("non-empty");
+        let min = *ticks.iter().min().expect("non-empty");
+        assert!(max < 2_900 * 100 * 2);
+        assert!(min > 700 * 100 / 2);
+    }
+
+    #[test]
+    fn scaled_preserves_wiggle_count() {
+        let full = StockSpec::nifty();
+        let half = StockSpec::nifty().scaled(700_000);
+        let cycles_full = full.n / full.wiggle_period;
+        let cycles_half = half.n / half.wiggle_period;
+        assert!((cycles_full as i64 - cycles_half as i64).abs() <= 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! # quit-concurrent — thread-safe QuIT and B+-tree (paper §4.5)
+//!
+//! Classical lock-crabbing made sortedness-aware: a dedicated mutex guards
+//! the poℓe fast-path metadata, and an in-range insert into a non-full poℓe
+//! leaf locks exactly **one leaf** instead of crabbing a whole root-to-leaf
+//! path — the shorter critical section behind the paper's Fig 13 result
+//! (1.5–2× higher insert throughput under contention).
+//!
+//! ```
+//! use quit_concurrent::ConcurrentTree;
+//! use std::sync::Arc;
+//!
+//! let tree: Arc<ConcurrentTree<u64, u64>> = Arc::new(ConcurrentTree::quit());
+//! let handles: Vec<_> = (0..4)
+//!     .map(|t| {
+//!         let tree = tree.clone();
+//!         std::thread::spawn(move || {
+//!             for k in 0..1000u64 {
+//!                 tree.insert(t * 1_000_000 + k, k);
+//!             }
+//!         })
+//!     })
+//!     .collect();
+//! for h in handles {
+//!     h.join().unwrap();
+//! }
+//! assert_eq!(tree.len(), 4000);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod node;
+mod tree;
+
+pub use node::{CNode, NodeRef};
+pub use tree::{ConcConfig, ConcStats, ConcurrentTree};

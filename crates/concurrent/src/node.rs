@@ -1,0 +1,98 @@
+//! Lock-per-node tree nodes for the concurrent QuIT (§4.5).
+//!
+//! Every node sits behind its own `parking_lot::RwLock`; links are `Arc`s so
+//! guards can outlive the reference that produced them (`arc_lock`). Leaves
+//! carry their own separator bounds (`low`/`high`), maintained under the
+//! leaf's write lock at split time — this lets the fast path validate an
+//! insert against the leaf itself, immune to staleness of the shared
+//! fast-path metadata.
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Shared handle to a locked node.
+pub type NodeRef<K, V> = Arc<RwLock<CNode<K, V>>>;
+
+/// A node of the concurrent tree.
+#[derive(Debug)]
+pub enum CNode<K, V> {
+    /// Routing node: `children.len() == keys.len() + 1`.
+    Internal {
+        /// Separator keys, ascending.
+        keys: Vec<K>,
+        /// Child handles.
+        children: Vec<NodeRef<K, V>>,
+    },
+    /// Data node.
+    Leaf {
+        /// Entry keys, ascending (duplicates allowed).
+        keys: Vec<K>,
+        /// Values parallel to `keys`.
+        vals: Vec<V>,
+        /// Next leaf in key order.
+        next: Option<NodeRef<K, V>>,
+        /// Inclusive lower separator bound (`None` = unbounded).
+        low: Option<K>,
+        /// Exclusive upper separator bound (`None` = right-most leaf).
+        high: Option<K>,
+    },
+}
+
+impl<K, V> CNode<K, V> {
+    /// A fresh empty leaf with unbounded range.
+    pub fn empty_leaf(capacity: usize) -> Self {
+        CNode::Leaf {
+            keys: Vec::with_capacity(capacity),
+            vals: Vec::with_capacity(capacity),
+            next: None,
+            low: None,
+            high: None,
+        }
+    }
+
+    /// Wraps a node in its lock + handle.
+    pub fn into_ref(self) -> NodeRef<K, V> {
+        Arc::new(RwLock::new(self))
+    }
+
+    /// True for leaves.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, CNode::Leaf { .. })
+    }
+
+    /// Entry or separator count.
+    pub fn len(&self) -> usize {
+        match self {
+            CNode::Internal { keys, .. } | CNode::Leaf { keys, .. } => keys.len(),
+        }
+    }
+
+    /// True when the node holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_construction() {
+        let n: CNode<u64, u64> = CNode::empty_leaf(16);
+        assert!(n.is_leaf());
+        assert!(n.is_empty());
+        assert_eq!(n.len(), 0);
+        let r = n.into_ref();
+        assert!(r.read().is_leaf());
+    }
+
+    #[test]
+    fn guards_are_arc_detached() {
+        let r: NodeRef<u64, u64> = CNode::empty_leaf(4).into_ref();
+        let guard = parking_lot::RwLock::write_arc(&r);
+        // The guard owns an Arc clone: dropping `r` is fine.
+        drop(r);
+        assert!(guard.is_leaf());
+    }
+}

@@ -1,0 +1,957 @@
+//! The concurrent QuIT / B+-tree (§4.5).
+//!
+//! * **Writes** use classical pessimistic lock-crabbing: descend with write
+//!   locks, releasing all ancestors as soon as the current node is *safe*
+//!   (cannot split). Only the ancestors that may be modified stay locked.
+//! * **Reads** use shared-lock crabbing: lock child, release parent.
+//! * **Fast path**: a dedicated mutex guards the poℓe metadata. An insert
+//!   first consults it; if the key is covered and the poℓe leaf is not
+//!   full, one `try_lock` on that single leaf replaces the whole descent —
+//!   the short critical section behind Fig 13's scaling advantage. The
+//!   insert is validated against the leaf's own separator bounds (stored in
+//!   the leaf, maintained at split time), so stale metadata can only cost a
+//!   missed fast-insert, never a misplaced key.
+//!
+//! poℓe maintenance follows Algorithm 1 (IKR-guided promotion on split) plus
+//! the §4.3 reset strategy. The single-threaded-only refinements (variable
+//! split, redistribution, catch-up) are intentionally omitted here: they
+//! require multi-node lock choreography that the paper does not specify, and
+//! they affect space, not the concurrency behaviour Fig 13 measures.
+
+use crate::node::{CNode, NodeRef};
+use parking_lot::lock_api::ArcRwLockWriteGuard;
+use parking_lot::{Mutex, RawRwLock, RwLock};
+use quit_core::{ikr_bound, Key};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+type WriteGuard<K, V> = ArcRwLockWriteGuard<RawRwLock, CNode<K, V>>;
+
+/// Configuration of the concurrent tree.
+#[derive(Debug, Clone)]
+pub struct ConcConfig {
+    /// Maximum entries per leaf.
+    pub leaf_capacity: usize,
+    /// Maximum separator keys per internal node.
+    pub internal_capacity: usize,
+    /// IKR scale (Eq. 2).
+    pub ikr_scale: f64,
+    /// Enable the poℓe fast path (off ⇒ plain concurrent B+-tree).
+    pub pole_enabled: bool,
+    /// Consecutive top-inserts before the fast path resets (`T_R`).
+    pub reset_threshold: usize,
+}
+
+impl ConcConfig {
+    /// Paper geometry with the fast path enabled (concurrent QuIT).
+    pub fn quit() -> Self {
+        ConcConfig {
+            leaf_capacity: 510,
+            internal_capacity: 510,
+            ikr_scale: 1.5,
+            pole_enabled: true,
+            reset_threshold: 22,
+        }
+    }
+
+    /// Paper geometry with the fast path disabled (concurrent B+-tree).
+    pub fn classic() -> Self {
+        ConcConfig {
+            pole_enabled: false,
+            ..Self::quit()
+        }
+    }
+
+    /// Small geometry for tests.
+    pub fn small(leaf_capacity: usize, pole_enabled: bool) -> Self {
+        ConcConfig {
+            leaf_capacity,
+            internal_capacity: leaf_capacity.max(4),
+            ikr_scale: 1.5,
+            pole_enabled,
+            reset_threshold: ((leaf_capacity as f64).sqrt() as usize).max(1),
+        }
+    }
+}
+
+/// Atomic operation counters.
+#[derive(Debug, Default)]
+pub struct ConcStats {
+    /// Inserts served by the fast path.
+    pub fast_inserts: AtomicU64,
+    /// Inserts that performed a full crabbing descent.
+    pub top_inserts: AtomicU64,
+    /// Point lookups served.
+    pub lookups: AtomicU64,
+    /// Fast-path resets.
+    pub fp_resets: AtomicU64,
+    /// Leaf splits.
+    pub leaf_splits: AtomicU64,
+}
+
+/// poℓe metadata, guarded by one mutex (the "lock on the fast-path
+/// metadata" of §4.5).
+struct ConcFp<K, V> {
+    leaf: Option<NodeRef<K, V>>,
+    min: Option<K>,
+    max: Option<K>,
+    /// `q`: smallest key of the poℓe at the time it was (re)pointed.
+    q: Option<K>,
+    prev_min: Option<K>,
+    prev_size: usize,
+    fails: usize,
+}
+
+/// A thread-safe sortedness-aware B+-tree.
+pub struct ConcurrentTree<K, V> {
+    root: RwLock<NodeRef<K, V>>,
+    config: ConcConfig,
+    fp: Mutex<ConcFp<K, V>>,
+    stats: ConcStats,
+    len: AtomicUsize,
+}
+
+impl<K: Key, V: Clone> ConcurrentTree<K, V> {
+    /// An empty tree.
+    pub fn new(config: ConcConfig) -> Self {
+        assert!(config.leaf_capacity >= 2 && config.internal_capacity >= 3);
+        let root = CNode::empty_leaf(config.leaf_capacity).into_ref();
+        let fp = ConcFp {
+            leaf: config.pole_enabled.then(|| root.clone()),
+            min: None,
+            max: None,
+            q: None,
+            prev_min: None,
+            prev_size: 0,
+            fails: 0,
+        };
+        ConcurrentTree {
+            root: RwLock::new(root),
+            config,
+            fp: Mutex::new(fp),
+            stats: ConcStats::default(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Concurrent QuIT with paper geometry.
+    pub fn quit() -> Self {
+        Self::new(ConcConfig::quit())
+    }
+
+    /// Concurrent classical B+-tree with paper geometry.
+    pub fn classic() -> Self {
+        Self::new(ConcConfig::classic())
+    }
+
+    /// Entries in the tree.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &ConcStats {
+        &self.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Insert
+    // ------------------------------------------------------------------
+
+    /// Inserts an entry (thread-safe).
+    pub fn insert(&self, key: K, value: V) {
+        let (value, count_as_fast) = if self.config.pole_enabled {
+            match self.try_fast_insert(key, value) {
+                FastAttempt::Done => return,
+                // Covered key, full poℓe: the paper splits through fp_path
+                // and still accounts this as a fast-path insert; we crab
+                // from the root but preserve the accounting.
+                FastAttempt::PoleFull(v) => (v, true),
+                FastAttempt::NotCovered(v) | FastAttempt::Busy(v) => (v, false),
+            }
+        } else {
+            (value, false)
+        };
+        self.top_insert(key, value, count_as_fast);
+    }
+
+    /// The short-critical-section path: metadata mutex, then a single
+    /// `try_lock` on the poℓe leaf.
+    fn try_fast_insert(&self, key: K, value: V) -> FastAttempt<V> {
+        let mut fp = self.fp.lock();
+        let covered =
+            fp.leaf.is_some() && fp.min.is_none_or(|m| key >= m) && fp.max.is_none_or(|m| key < m);
+        if !covered {
+            return FastAttempt::NotCovered(value);
+        }
+        let leaf = fp.leaf.clone().expect("covered implies leaf");
+        let Some(mut g) = RwLock::try_write_arc(&leaf) else {
+            return FastAttempt::Busy(value);
+        };
+        let CNode::Leaf {
+            keys,
+            vals,
+            low,
+            high,
+            ..
+        } = &mut *g
+        else {
+            return FastAttempt::NotCovered(value);
+        };
+        // Authoritative validation against the leaf's own bounds.
+        let in_range = low.is_none_or(|b| key >= b) && high.is_none_or(|b| key < b);
+        if !in_range {
+            return FastAttempt::NotCovered(value);
+        }
+        if keys.len() >= self.config.leaf_capacity {
+            return FastAttempt::PoleFull(value);
+        }
+        let pos = keys.partition_point(|k| *k <= key);
+        keys.insert(pos, key);
+        vals.insert(pos, value);
+        if fp.q.is_none_or(|q| key < q) {
+            fp.q = Some(key);
+        }
+        fp.fails = 0;
+        drop(g);
+        self.len.fetch_add(1, Ordering::Relaxed);
+        self.stats.fast_inserts.fetch_add(1, Ordering::Relaxed);
+        FastAttempt::Done
+    }
+
+    fn node_unsafe_for_insert(&self, n: &CNode<K, V>) -> bool {
+        match n {
+            CNode::Leaf { keys, .. } => keys.len() >= self.config.leaf_capacity,
+            CNode::Internal { keys, .. } => keys.len() >= self.config.internal_capacity,
+        }
+    }
+
+    /// Full crabbing insert. `count_as_fast` preserves the paper's
+    /// accounting for covered-but-full poℓe inserts.
+    fn top_insert(&self, key: K, value: V, count_as_fast: bool) {
+        // Lock the root pointer; it plays the role of the root's parent and
+        // is released as soon as any node on the path is safe.
+        let mut root_guard = Some(self.root.write());
+        let mut current: NodeRef<K, V> = (**root_guard.as_ref().expect("held")).clone();
+        let mut guard: WriteGuard<K, V> = RwLock::write_arc(&current);
+        if !self.node_unsafe_for_insert(&guard) {
+            root_guard = None;
+        }
+        let mut path: Vec<(NodeRef<K, V>, WriteGuard<K, V>)> = Vec::new();
+        loop {
+            let child = match &*guard {
+                CNode::Leaf { .. } => break,
+                CNode::Internal { keys, children } => {
+                    let i = keys.partition_point(|k| *k <= key);
+                    children[i].clone()
+                }
+            };
+            let child_guard = RwLock::write_arc(&child);
+            let safe = !self.node_unsafe_for_insert(&child_guard);
+            path.push((current, guard));
+            current = child;
+            guard = child_guard;
+            if safe {
+                path.clear();
+                root_guard = None;
+            }
+        }
+
+        // `guard` is the leaf; `path` holds exactly the ancestors that may
+        // change; `root_guard` is held iff the whole path may split.
+        let mut leaf_split: Option<PoleSplitEvent<K, V>> = None;
+        let mut target_arc = current.clone();
+        if self.node_unsafe_for_insert(&guard) {
+            let (right_arc, sep, left_len, q) = self.split_leaf(&mut guard);
+            self.stats.leaf_splits.fetch_add(1, Ordering::Relaxed);
+            leaf_split = Some(PoleSplitEvent {
+                left: current.clone(),
+                right: right_arc.clone(),
+                sep,
+                left_len,
+                q,
+            });
+            if key >= sep {
+                // Move to the new right node: lock it (nobody else can reach
+                // it yet through the tree, but scans via `next` can).
+                let right_guard = RwLock::write_arc(&right_arc);
+                target_arc = right_arc.clone();
+                guard = right_guard;
+            }
+            self.propagate_split(path, root_guard, sep, right_arc);
+        } else {
+            drop(path);
+            drop(root_guard);
+        }
+
+        if let CNode::Leaf { keys, vals, .. } = &mut *guard {
+            let pos = keys.partition_point(|k| *k <= key);
+            keys.insert(pos, key);
+            vals.insert(pos, value);
+        } else {
+            unreachable!("descent ends at a leaf");
+        }
+        let (target_low, target_high) = match &*guard {
+            CNode::Leaf { low, high, .. } => (*low, *high),
+            _ => unreachable!(),
+        };
+        let target_len = guard.len();
+        drop(guard);
+        self.len.fetch_add(1, Ordering::Relaxed);
+        if count_as_fast {
+            self.stats.fast_inserts.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.top_inserts.fetch_add(1, Ordering::Relaxed);
+        }
+
+        if self.config.pole_enabled {
+            self.update_pole_after_top_insert(
+                key,
+                leaf_split,
+                target_arc,
+                target_low,
+                target_high,
+                target_len,
+            );
+        }
+    }
+
+    /// Splits the write-locked leaf 50/50; returns the new right node, the
+    /// separator, the left node's remaining size, and its smallest key.
+    fn split_leaf(&self, guard: &mut WriteGuard<K, V>) -> (NodeRef<K, V>, K, usize, K) {
+        let CNode::Leaf {
+            keys,
+            vals,
+            next,
+            high,
+            ..
+        } = &mut **guard
+        else {
+            unreachable!("split_leaf on a leaf");
+        };
+        let mid = keys.len() / 2;
+        let right_keys = keys.split_off(mid);
+        let right_vals = vals.split_off(mid);
+        let sep = right_keys[0];
+        let q = keys[0];
+        let right = CNode::Leaf {
+            keys: right_keys,
+            vals: right_vals,
+            next: next.take(),
+            low: Some(sep),
+            high: *high,
+        }
+        .into_ref();
+        *next = Some(right.clone());
+        *high = Some(sep);
+        (right, sep, mid, q)
+    }
+
+    /// Installs `(sep, right)` into the locked ancestors, splitting upward
+    /// as needed; swaps the root pointer when the root itself splits.
+    fn propagate_split(
+        &self,
+        mut path: Vec<(NodeRef<K, V>, WriteGuard<K, V>)>,
+        mut root_guard: Option<parking_lot::RwLockWriteGuard<'_, NodeRef<K, V>>>,
+        mut sep: K,
+        mut right: NodeRef<K, V>,
+    ) {
+        let mut child_of_root: Option<NodeRef<K, V>> = None;
+        loop {
+            match path.pop() {
+                Some((parent_arc, mut parent_guard)) => {
+                    let CNode::Internal { keys, children } = &mut *parent_guard else {
+                        unreachable!("ancestors are internal");
+                    };
+                    let idx = keys.partition_point(|k| *k <= sep);
+                    keys.insert(idx, sep);
+                    children.insert(idx + 1, right);
+                    if keys.len() <= self.config.internal_capacity {
+                        return; // absorbed; all remaining guards drop
+                    }
+                    // Split this internal node and keep climbing.
+                    let mid = keys.len() / 2;
+                    let up = keys[mid];
+                    let right_keys = keys.split_off(mid + 1);
+                    keys.pop();
+                    let right_children = children.split_off(mid + 1);
+                    let new_right = CNode::Internal {
+                        keys: right_keys,
+                        children: right_children,
+                    }
+                    .into_ref();
+                    sep = up;
+                    right = new_right;
+                    child_of_root = Some(parent_arc);
+                    drop(parent_guard);
+                }
+                None => {
+                    // The root itself split (leaf root or cascaded): swap the
+                    // pointer under the root-pointer lock we kept for this.
+                    let rg = root_guard
+                        .as_mut()
+                        .expect("root pointer lock retained when the whole path splits");
+                    let old_root = child_of_root.unwrap_or_else(|| (**rg).clone());
+                    let new_root = CNode::Internal {
+                        keys: vec![sep],
+                        children: vec![old_root, right],
+                    }
+                    .into_ref();
+                    **rg = new_root;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Algorithm 1 poℓe maintenance after a top-insert, done after all node
+    /// locks are released (metadata staleness is tolerated; leaf-local
+    /// bounds keep the fast path safe).
+    #[allow(clippy::too_many_arguments)]
+    fn update_pole_after_top_insert(
+        &self,
+        key: K,
+        leaf_split: Option<PoleSplitEvent<K, V>>,
+        target_arc: NodeRef<K, V>,
+        target_low: Option<K>,
+        target_high: Option<K>,
+        _target_len: usize,
+    ) {
+        let mut fp = self.fp.lock();
+        if let Some(ev) = leaf_split {
+            let pole_was_left = fp.leaf.as_ref().is_some_and(|p| Arc::ptr_eq(p, &ev.left));
+            if pole_was_left {
+                // Fig 6: promote iff the split key passes IKR.
+                let promote = match fp.prev_min {
+                    Some(p) if fp.prev_size > 0 => {
+                        ev.sep.to_ikr()
+                            <= ikr_bound(
+                                p,
+                                fp.q.unwrap_or(ev.q),
+                                fp.prev_size,
+                                ev.left_len * 2,
+                                self.config.ikr_scale,
+                            )
+                    }
+                    _ => key >= ev.sep,
+                };
+                if promote {
+                    fp.prev_min = Some(ev.q);
+                    fp.prev_size = ev.left_len;
+                    fp.leaf = Some(ev.right);
+                    fp.min = Some(ev.sep);
+                    fp.q = Some(ev.sep);
+                } else {
+                    fp.max = Some(ev.sep);
+                }
+                return;
+            }
+        }
+        fp.fails += 1;
+        if fp.fails >= self.config.reset_threshold {
+            // §4.3 reset: adopt the leaf that accepted the latest insert.
+            self.stats.fp_resets.fetch_add(1, Ordering::Relaxed);
+            fp.leaf = Some(target_arc);
+            fp.min = target_low;
+            fp.max = target_high;
+            fp.q = target_low;
+            fp.prev_min = None;
+            fp.prev_size = 0;
+            fp.fails = 0;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Delete
+    // ------------------------------------------------------------------
+
+    /// Removes one entry with key `key` and returns its value.
+    ///
+    /// Deletion is *lazy* (Bw-tree style): the entry is removed under the
+    /// leaf's write lock, but under-full leaves are not merged — a common
+    /// production trade-off that avoids multi-node lock choreography on the
+    /// delete path. Space is reclaimed when neighbouring inserts split or
+    /// when the index is rebuilt.
+    pub fn delete(&self, key: K) -> Option<V> {
+        // Write-crab down to the leaf (no split can happen, but the leaf
+        // must be write-locked; ancestors release immediately since deletes
+        // never modify them).
+        let root_ptr = self.root.read();
+        let root = root_ptr.clone();
+        let mut guard = RwLock::write_arc(&root);
+        drop(root_ptr);
+        loop {
+            let child = match &*guard {
+                CNode::Leaf { .. } => break,
+                CNode::Internal { keys, children } => {
+                    let i = keys.partition_point(|k| *k <= key);
+                    children[i].clone()
+                }
+            };
+            guard = RwLock::write_arc(&child);
+        }
+        let CNode::Leaf { keys, vals, .. } = &mut *guard else {
+            unreachable!("descent ends at a leaf");
+        };
+        let pos = keys.partition_point(|k| *k < key);
+        if pos < keys.len() && keys[pos] == key {
+            keys.remove(pos);
+            let v = vals.remove(pos);
+            drop(guard);
+            self.len.fetch_sub(1, Ordering::Relaxed);
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    /// Point lookup with shared-lock crabbing.
+    pub fn get(&self, key: K) -> Option<V> {
+        self.stats.lookups.fetch_add(1, Ordering::Relaxed);
+        let root_ptr = self.root.read();
+        let root = root_ptr.clone();
+        let mut guard = RwLock::read_arc(&root);
+        drop(root_ptr);
+        loop {
+            let child = match &*guard {
+                CNode::Leaf { keys, vals, .. } => {
+                    let pos = keys.partition_point(|k| *k < key);
+                    if pos < keys.len() && keys[pos] == key {
+                        return Some(vals[pos].clone());
+                    }
+                    // A duplicate run may straddle into this leaf's left
+                    // sibling, but concurrent leaves have no prev pointers;
+                    // right-biased routing plus in-leaf search covers the
+                    // common case, and `range` covers exhaustive reads.
+                    return None;
+                }
+                CNode::Internal { keys, children } => {
+                    let i = keys.partition_point(|k| *k <= key);
+                    children[i].clone()
+                }
+            };
+            guard = RwLock::read_arc(&child); // parent guard drops (crabbing)
+        }
+    }
+
+    /// True when the key exists.
+    pub fn contains_key(&self, key: K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Range scan over `[start, end)` with shared lock coupling along the
+    /// leaf chain (§4.5 "Locking Protocol for Lookups").
+    pub fn range(&self, start: K, end: K) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        if start >= end {
+            return out;
+        }
+        let root_ptr = self.root.read();
+        let root = root_ptr.clone();
+        let mut guard = RwLock::read_arc(&root);
+        drop(root_ptr);
+        // Descend to the leaf containing `start`.
+        loop {
+            let child = match &*guard {
+                CNode::Leaf { .. } => break,
+                CNode::Internal { keys, children } => {
+                    let i = keys.partition_point(|k| *k < start);
+                    children[i].clone()
+                }
+            };
+            guard = RwLock::read_arc(&child);
+        }
+        // Walk the chain, acquiring the next leaf before releasing this one.
+        loop {
+            let next = match &*guard {
+                CNode::Leaf {
+                    keys, vals, next, ..
+                } => {
+                    let lo = keys.partition_point(|k| *k < start);
+                    for i in lo..keys.len() {
+                        if keys[i] >= end {
+                            return out;
+                        }
+                        out.push((keys[i], vals[i].clone()));
+                    }
+                    next.clone()
+                }
+                _ => unreachable!("chain holds leaves"),
+            };
+            match next {
+                Some(n) => {
+                    guard = RwLock::read_arc(&n);
+                }
+                None => return out,
+            }
+        }
+    }
+
+    /// All entries in key order (test/diagnostic helper; locks one leaf at
+    /// a time).
+    pub fn collect_all(&self) -> Vec<(K, V)> {
+        match (self.min_key(), self.max_key_plus()) {
+            (Some(lo), Some(_)) => {
+                // Range over everything: use an unbounded walk.
+                let mut out = self.range_from(lo);
+                out.shrink_to_fit();
+                out
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn min_key(&self) -> Option<K> {
+        let root_ptr = self.root.read();
+        let root = root_ptr.clone();
+        let mut guard = RwLock::read_arc(&root);
+        drop(root_ptr);
+        loop {
+            let child = match &*guard {
+                CNode::Leaf { keys, .. } => return keys.first().copied(),
+                CNode::Internal { children, .. } => children[0].clone(),
+            };
+            guard = RwLock::read_arc(&child);
+        }
+    }
+
+    fn max_key_plus(&self) -> Option<K> {
+        let root_ptr = self.root.read();
+        let root = root_ptr.clone();
+        let mut guard = RwLock::read_arc(&root);
+        drop(root_ptr);
+        loop {
+            let child = match &*guard {
+                CNode::Leaf { keys, .. } => return keys.last().copied(),
+                CNode::Internal { children, .. } => {
+                    children.last().expect("internal has children").clone()
+                }
+            };
+            guard = RwLock::read_arc(&child);
+        }
+    }
+
+    /// All entries with keys `>= start`, in order.
+    fn range_from(&self, start: K) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        let root_ptr = self.root.read();
+        let root = root_ptr.clone();
+        let mut guard = RwLock::read_arc(&root);
+        drop(root_ptr);
+        loop {
+            let child = match &*guard {
+                CNode::Leaf { .. } => break,
+                CNode::Internal { keys, children } => {
+                    let i = keys.partition_point(|k| *k < start);
+                    children[i].clone()
+                }
+            };
+            guard = RwLock::read_arc(&child);
+        }
+        loop {
+            let next = match &*guard {
+                CNode::Leaf {
+                    keys, vals, next, ..
+                } => {
+                    let lo = keys.partition_point(|k| *k < start);
+                    for i in lo..keys.len() {
+                        out.push((keys[i], vals[i].clone()));
+                    }
+                    next.clone()
+                }
+                _ => unreachable!(),
+            };
+            match next {
+                Some(n) => {
+                    guard = RwLock::read_arc(&n);
+                }
+                None => return out,
+            }
+        }
+    }
+}
+
+/// Outcome of a fast-path attempt.
+enum FastAttempt<V> {
+    /// Inserted through the fast path.
+    Done,
+    /// Key outside the fast-path range (or metadata stale): top-insert.
+    NotCovered(V),
+    /// Covered, but the poℓe is full: split path, accounted as fast.
+    PoleFull(V),
+    /// Covered, but the leaf lock was contended: top-insert.
+    Busy(V),
+}
+
+struct PoleSplitEvent<K, V> {
+    left: NodeRef<K, V>,
+    right: NodeRef<K, V>,
+    sep: K,
+    left_len: usize,
+    q: K,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+
+    #[test]
+    fn single_threaded_roundtrip() {
+        let t: ConcurrentTree<u64, u64> = ConcurrentTree::new(ConcConfig::small(8, true));
+        for k in 0..2000u64 {
+            t.insert(k, k * 2);
+        }
+        assert_eq!(t.len(), 2000);
+        for k in (0..2000).step_by(61) {
+            assert_eq!(t.get(k), Some(k * 2));
+        }
+        assert_eq!(t.get(5000), None);
+        let all = t.collect_all();
+        assert_eq!(all.len(), 2000);
+        assert!(all.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn sorted_ingest_uses_fast_path() {
+        let t: ConcurrentTree<u64, u64> = ConcurrentTree::new(ConcConfig::small(8, true));
+        for k in 0..1000u64 {
+            t.insert(k, k);
+        }
+        let fast = t.stats().fast_inserts.load(Ordering::Relaxed);
+        let top = t.stats().top_inserts.load(Ordering::Relaxed);
+        assert!(fast > top * 5, "fast {fast}, top {top}");
+    }
+
+    #[test]
+    fn classic_mode_never_fast_inserts() {
+        let t: ConcurrentTree<u64, u64> = ConcurrentTree::new(ConcConfig::small(8, false));
+        for k in 0..500u64 {
+            t.insert(k, k);
+        }
+        assert_eq!(t.stats().fast_inserts.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn range_scan_matches() {
+        let t: ConcurrentTree<u64, u64> = ConcurrentTree::new(ConcConfig::small(8, true));
+        for k in 0..500u64 {
+            t.insert(k, k);
+        }
+        let r = t.range(100, 200);
+        assert_eq!(r.len(), 100);
+        assert_eq!(r[0], (100, 100));
+        assert_eq!(r[99], (199, 199));
+        assert!(t.range(9_999, 10_000).is_empty());
+        assert!(t.range(10, 10).is_empty());
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts() {
+        let t: StdArc<ConcurrentTree<u64, u64>> =
+            StdArc::new(ConcurrentTree::new(ConcConfig::small(16, true)));
+        let threads = 8;
+        let per = 2_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    let base = tid as u64 * 1_000_000;
+                    for k in 0..per {
+                        t.insert(base + k, k);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), threads * per as usize);
+        let all = t.collect_all();
+        assert_eq!(all.len(), threads * per as usize);
+        assert!(all.windows(2).all(|w| w[0].0 <= w[1].0), "global order");
+        for tid in 0..threads as u64 {
+            assert_eq!(t.get(tid * 1_000_000 + 17), Some(17));
+        }
+    }
+
+    #[test]
+    fn concurrent_interleaved_inserts_same_range() {
+        use rand::prelude::*;
+        let t: StdArc<ConcurrentTree<u64, u64>> =
+            StdArc::new(ConcurrentTree::new(ConcConfig::small(8, true)));
+        let threads = 8;
+        let per = 1500usize;
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(tid as u64);
+                    for _ in 0..per {
+                        let k = rng.gen_range(0..10_000u64);
+                        t.insert(k, k);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), threads * per);
+        let all = t.collect_all();
+        assert_eq!(all.len(), threads * per);
+        assert!(all.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let t: StdArc<ConcurrentTree<u64, u64>> =
+            StdArc::new(ConcurrentTree::new(ConcConfig::small(8, true)));
+        for k in 0..1000u64 {
+            t.insert(k, k);
+        }
+        let stop = StdArc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for tid in 0..4u64 {
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                for k in 0..2000u64 {
+                    t.insert(1_000 + tid * 10_000 + k, k);
+                }
+            }));
+        }
+        for _ in 0..4 {
+            let t = t.clone();
+            let stop = stop.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut hits = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for k in (0..1000u64).step_by(101) {
+                        if t.get(k).is_some() {
+                            hits += 1;
+                        }
+                    }
+                    let r = t.range(0, 500);
+                    assert!(r.len() >= 500, "pre-loaded keys must stay visible");
+                }
+                assert!(hits > 0);
+            }));
+        }
+        // Let writers finish, then stop readers.
+        for h in handles.drain(..4) {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), 1000 + 4 * 2000);
+    }
+
+    #[test]
+    fn delete_roundtrip_single_threaded() {
+        let t: ConcurrentTree<u64, u64> = ConcurrentTree::new(ConcConfig::small(8, true));
+        for k in 0..1000u64 {
+            t.insert(k, k * 3);
+        }
+        for k in (0..1000u64).step_by(2) {
+            assert_eq!(t.delete(k), Some(k * 3));
+        }
+        assert_eq!(t.delete(0), None);
+        assert_eq!(t.len(), 500);
+        for k in 0..1000u64 {
+            assert_eq!(t.get(k).is_some(), k % 2 == 1, "key {k}");
+        }
+        let all = t.collect_all();
+        assert_eq!(all.len(), 500);
+        assert!(all.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn concurrent_deletes_and_inserts() {
+        let t: StdArc<ConcurrentTree<u64, u64>> =
+            StdArc::new(ConcurrentTree::new(ConcConfig::small(8, true)));
+        for k in 0..10_000u64 {
+            t.insert(k, k);
+        }
+        std::thread::scope(|s| {
+            // Deleters drain even keys; an inserter extends the key space.
+            for part in 0..4u64 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for k in (0..10_000u64).step_by(2) {
+                        if k % 8 == part * 2 {
+                            assert_eq!(t.delete(k), Some(k), "key {k}");
+                        }
+                    }
+                });
+            }
+            let t2 = t.clone();
+            s.spawn(move || {
+                for k in 10_000..14_000u64 {
+                    t2.insert(k, k);
+                }
+            });
+        });
+        assert_eq!(t.len(), 10_000 - 5_000 + 4_000);
+        for k in 0..10_000u64 {
+            assert_eq!(t.get(k).is_some(), k % 2 == 1, "key {k}");
+        }
+        for k in 10_000..14_000u64 {
+            assert_eq!(t.get(k), Some(k));
+        }
+    }
+
+    #[test]
+    fn fast_path_keeps_working_after_deletes() {
+        let t: ConcurrentTree<u64, u64> = ConcurrentTree::new(ConcConfig::small(8, true));
+        for k in 0..2_000u64 {
+            t.insert(k, k);
+        }
+        for k in 500..1500u64 {
+            t.delete(k);
+        }
+        let fast_before = t.stats().fast_inserts.load(Ordering::Relaxed);
+        for k in 2_000..3_000u64 {
+            t.insert(k, k);
+        }
+        assert!(
+            t.stats().fast_inserts.load(Ordering::Relaxed) > fast_before + 800,
+            "fast path must survive deletions"
+        );
+    }
+
+    #[test]
+    fn near_sorted_concurrent_stream() {
+        let keys = bods::BodsSpec::new(20_000, 0.05, 1.0).generate();
+        let t: StdArc<ConcurrentTree<u64, u64>> = StdArc::new(ConcurrentTree::quit());
+        let chunk = keys.len() / 4;
+        let handles: Vec<_> = keys
+            .chunks(chunk)
+            .map(|c| {
+                let c = c.to_vec();
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    for k in c {
+                        t.insert(k, k);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), 20_000);
+        let all = t.collect_all();
+        assert!(all.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+}

@@ -1,0 +1,223 @@
+//! Slab arena for tree nodes.
+//!
+//! Nodes are addressed by [`NodeId`] indices into a `Vec` instead of by
+//! references or `Rc<RefCell<…>>`. This sidesteps the borrow-checker
+//! friction of linked tree structures entirely: parent/child/sibling links
+//! are plain integers, mutation never aliases, and a node id stays valid for
+//! the node's whole lifetime (splits create *new* nodes; they never move
+//! existing ones).
+
+use crate::node::Node;
+
+/// Identifier of a node inside the tree's node arena. 4 bytes, `Copy`,
+/// never invalidated while the node is live.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Index into the arena's backing vector.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Slab of nodes with a free list. Freed slots are recycled so long delete
+/// workloads do not grow the arena unboundedly.
+#[derive(Debug)]
+pub struct Arena<K, V> {
+    slots: Vec<Node<K, V>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<K, V> Arena<K, V> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// An empty arena with room for `cap` nodes before reallocating.
+    #[allow(dead_code)]
+    pub fn with_capacity(cap: usize) -> Self {
+        Arena {
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Stores `node` and returns its id.
+    pub fn alloc(&mut self, node: Node<K, V>) -> NodeId {
+        self.live += 1;
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx as usize] = node;
+            NodeId(idx)
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("arena overflow: > 2^32 nodes");
+            self.slots.push(node);
+            NodeId(idx)
+        }
+    }
+
+    /// Releases `id`'s slot for reuse. The node's storage is dropped.
+    pub fn free(&mut self, id: NodeId) {
+        debug_assert!(!matches!(self.slots[id.index()], Node::Free));
+        self.slots[id.index()] = Node::Free;
+        self.free.push(id.0);
+        self.live -= 1;
+    }
+
+    /// Immutable access. Panics on a freed or out-of-range id.
+    #[inline]
+    pub fn get(&self, id: NodeId) -> &Node<K, V> {
+        let n = &self.slots[id.index()];
+        debug_assert!(!matches!(n, Node::Free), "access to freed node {id:?}");
+        n
+    }
+
+    /// Mutable access. Panics on a freed or out-of-range id.
+    #[inline]
+    pub fn get_mut(&mut self, id: NodeId) -> &mut Node<K, V> {
+        let n = &mut self.slots[id.index()];
+        debug_assert!(!matches!(n, Node::Free), "access to freed node {id:?}");
+        n
+    }
+
+    /// Simultaneous mutable access to two distinct nodes (used by
+    /// redistribution and merge, which move entries between siblings).
+    pub fn get2_mut(&mut self, a: NodeId, b: NodeId) -> (&mut Node<K, V>, &mut Node<K, V>) {
+        assert_ne!(a, b, "get2_mut requires distinct ids");
+        let (lo, hi, swap) = if a.0 < b.0 {
+            (a, b, false)
+        } else {
+            (b, a, true)
+        };
+        let (left, right) = self.slots.split_at_mut(hi.index());
+        let lo_ref = &mut left[lo.index()];
+        let hi_ref = &mut right[0];
+        if swap {
+            (hi_ref, lo_ref)
+        } else {
+            (lo_ref, hi_ref)
+        }
+    }
+
+    /// Number of live (non-freed) nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no nodes are live.
+    #[inline]
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total slots ever allocated (live + freed), i.e. high-water mark.
+    #[inline]
+    #[allow(dead_code)]
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Iterates `(id, node)` over live nodes.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node<K, V>)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !matches!(n, Node::Free))
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+}
+
+impl<K, V> Default for Arena<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::LeafNode;
+
+    fn leaf(k: u64) -> Node<u64, u64> {
+        let mut l = LeafNode::new();
+        l.keys.push(k);
+        l.vals.push(k);
+        Node::Leaf(l)
+    }
+
+    #[test]
+    fn alloc_get_roundtrip() {
+        let mut a: Arena<u64, u64> = Arena::new();
+        let id = a.alloc(leaf(7));
+        match a.get(id) {
+            Node::Leaf(l) => assert_eq!(l.keys, vec![7]),
+            _ => panic!("expected leaf"),
+        }
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn free_slots_are_recycled() {
+        let mut a: Arena<u64, u64> = Arena::new();
+        let id0 = a.alloc(leaf(1));
+        let _id1 = a.alloc(leaf(2));
+        a.free(id0);
+        assert_eq!(a.len(), 1);
+        let id2 = a.alloc(leaf(3));
+        assert_eq!(id2, id0, "freed slot must be reused");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.slot_count(), 2);
+    }
+
+    #[test]
+    fn get2_mut_both_orders() {
+        let mut a: Arena<u64, u64> = Arena::new();
+        let x = a.alloc(leaf(1));
+        let y = a.alloc(leaf(2));
+        {
+            let (nx, ny) = a.get2_mut(x, y);
+            nx.as_leaf_mut().keys[0] = 10;
+            ny.as_leaf_mut().keys[0] = 20;
+        }
+        {
+            let (ny, nx) = a.get2_mut(y, x);
+            assert_eq!(ny.as_leaf().keys[0], 20);
+            assert_eq!(nx.as_leaf().keys[0], 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn get2_mut_same_id_panics() {
+        let mut a: Arena<u64, u64> = Arena::new();
+        let x = a.alloc(leaf(1));
+        let _ = a.get2_mut(x, x);
+    }
+
+    #[test]
+    fn iter_skips_freed() {
+        let mut a: Arena<u64, u64> = Arena::new();
+        let x = a.alloc(leaf(1));
+        let y = a.alloc(leaf(2));
+        let z = a.alloc(leaf(3));
+        a.free(y);
+        let ids: Vec<NodeId> = a.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![x, z]);
+    }
+}

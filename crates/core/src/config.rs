@@ -1,0 +1,222 @@
+//! Tree configuration: node geometry, IKR tuning, and the QuIT feature set.
+
+/// Which rule locates the variable-split point `l` inside a full poℓe node
+/// (paper Algorithm 2, line 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SplitBoundRule {
+    /// Use the full IKR bound of Eq. (2):
+    /// `x = q + ((q − p) / poℓe_prev_size) · poℓe_size · scale`.
+    ///
+    /// This matches the prose of §4.3 ("the first key greater than the
+    /// estimated acceptable value lower bound") and is the default.
+    Eq2,
+    /// Use the expression literally printed in Algorithm 2 line 4, which
+    /// omits the `poℓe_size` factor:
+    /// `x = q + ((q − p) / poℓe_prev_size) · scale`.
+    ///
+    /// Kept for the ablation bench; it degenerates to near-50% splits for
+    /// dense keys.
+    Literal,
+}
+
+/// Geometry and policy knobs shared by every index variant in this crate.
+///
+/// Defaults mirror the paper's setup (§5 "Index Design and Default Setup"):
+/// 4 KB pages holding up to 510 8-byte entries, IKR scale 1.5, and a reset
+/// threshold of `⌊√leaf_capacity⌋`.
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TreeConfig {
+    /// Maximum number of entries a leaf node holds.
+    pub leaf_capacity: usize,
+    /// Maximum number of keys an internal node holds (it has one more child).
+    pub internal_capacity: usize,
+    /// IKR scale factor (paper uses 1.5, following IQR practice).
+    pub ikr_scale: f64,
+    /// Consecutive top-inserts after which QuIT resets its fast path
+    /// (`T_R` in §4.3). `None` disables the reset strategy
+    /// (the "poℓe-B+-tree" ablation of Fig. 12).
+    pub reset_threshold: Option<usize>,
+    /// Enable the IKR-guided variable split of Algorithm 2.
+    pub variable_split: bool,
+    /// Enable redistribution into an under-half-full `poℓe_prev`
+    /// (Algorithm 2 line 10 / Fig. 7c).
+    pub redistribute: bool,
+    /// Which bound locates the variable-split position.
+    pub split_bound_rule: SplitBoundRule,
+    /// Cap on the occupancy the variable split leaves behind, in
+    /// `(0.5, 1.0]`. The paper notes (§5.2.1) that QuIT "can also be tuned
+    /// to avoid being 100% full for fully-sorted data if we anticipate
+    /// out-of-order entries in the future and want to avoid propagating
+    /// splits" — this is that knob. 1.0 (default) packs maximally.
+    pub max_variable_fill: f64,
+    /// Simulated page size in bytes, used for memory-footprint accounting
+    /// (Table 2); nodes are charged one full page each like a paged index.
+    pub page_size_bytes: usize,
+}
+
+impl TreeConfig {
+    /// Paper-default geometry: 4 KB pages, 510-entry leaves.
+    pub fn paper_default() -> Self {
+        TreeConfig {
+            leaf_capacity: 510,
+            internal_capacity: 510,
+            ikr_scale: 1.5,
+            reset_threshold: Some(Self::default_reset_threshold(510)),
+            variable_split: true,
+            redistribute: true,
+            split_bound_rule: SplitBoundRule::Eq2,
+            max_variable_fill: 1.0,
+            page_size_bytes: 4096,
+        }
+    }
+
+    /// A small geometry that forces frequent splits; used heavily in tests.
+    pub fn small(leaf_capacity: usize) -> Self {
+        TreeConfig {
+            leaf_capacity,
+            internal_capacity: leaf_capacity.max(4),
+            ikr_scale: 1.5,
+            reset_threshold: Some(Self::default_reset_threshold(leaf_capacity)),
+            variable_split: true,
+            redistribute: true,
+            split_bound_rule: SplitBoundRule::Eq2,
+            max_variable_fill: 1.0,
+            page_size_bytes: 4096,
+        }
+    }
+
+    /// `T_R = ⌊√leaf_capacity⌋`, the paper's balanced reset trigger
+    /// (§4.3; 22 for 510-entry leaves).
+    pub fn default_reset_threshold(leaf_capacity: usize) -> usize {
+        ((leaf_capacity as f64).sqrt().floor() as usize).max(1)
+    }
+
+    /// Default position for a 50/50 leaf split (`def_split_pos`, Alg. 2).
+    #[inline]
+    pub fn def_split_pos(&self) -> usize {
+        self.leaf_capacity / 2
+    }
+
+    /// Set the leaf capacity, keeping the reset threshold in sync.
+    pub fn with_leaf_capacity(mut self, cap: usize) -> Self {
+        assert!(cap >= 2, "leaf capacity must be at least 2");
+        self.leaf_capacity = cap;
+        if self.reset_threshold.is_some() {
+            self.reset_threshold = Some(Self::default_reset_threshold(cap));
+        }
+        self
+    }
+
+    /// Builder-style override of the IKR scale.
+    pub fn with_ikr_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "IKR scale must be positive");
+        self.ikr_scale = scale;
+        self
+    }
+
+    /// Builder-style override of the reset threshold (`None` disables reset).
+    pub fn with_reset_threshold(mut self, t: Option<usize>) -> Self {
+        self.reset_threshold = t;
+        self
+    }
+
+    /// Builder-style toggle of the variable-split strategy.
+    pub fn with_variable_split(mut self, on: bool) -> Self {
+        self.variable_split = on;
+        self
+    }
+
+    /// Builder-style toggle of poℓe_prev redistribution.
+    pub fn with_redistribute(mut self, on: bool) -> Self {
+        self.redistribute = on;
+        self
+    }
+
+    /// Builder-style override of the split-bound rule.
+    pub fn with_split_bound_rule(mut self, rule: SplitBoundRule) -> Self {
+        self.split_bound_rule = rule;
+        self
+    }
+
+    /// Builder-style override of the variable-split fill cap
+    /// (`0.5 < fill <= 1.0`).
+    pub fn with_max_variable_fill(mut self, fill: f64) -> Self {
+        assert!(
+            fill > 0.5 && fill <= 1.0,
+            "variable-split fill cap must be in (0.5, 1.0]"
+        );
+        self.max_variable_fill = fill;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.leaf_capacity >= 2, "leaf capacity must be >= 2");
+        assert!(
+            self.internal_capacity >= 3,
+            "internal capacity must be >= 3"
+        );
+        assert!(self.ikr_scale > 0.0, "IKR scale must be positive");
+        assert!(
+            self.max_variable_fill > 0.5 && self.max_variable_fill <= 1.0,
+            "variable-split fill cap must be in (0.5, 1.0]"
+        );
+    }
+
+    /// Panics if the configuration is internally inconsistent.
+    pub fn assert_valid(&self) {
+        self.validate();
+    }
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_5() {
+        let c = TreeConfig::paper_default();
+        assert_eq!(c.leaf_capacity, 510);
+        assert_eq!(c.page_size_bytes, 4096);
+        assert_eq!(c.ikr_scale, 1.5);
+        // ⌊√510⌋ = 22 (paper §5).
+        assert_eq!(c.reset_threshold, Some(22));
+        assert_eq!(c.def_split_pos(), 255);
+    }
+
+    #[test]
+    fn reset_threshold_tracks_capacity() {
+        let c = TreeConfig::paper_default().with_leaf_capacity(64);
+        assert_eq!(c.reset_threshold, Some(8));
+        assert_eq!(TreeConfig::default_reset_threshold(2), 1);
+    }
+
+    #[test]
+    fn builder_toggles() {
+        let c = TreeConfig::small(8)
+            .with_variable_split(false)
+            .with_redistribute(false)
+            .with_reset_threshold(None)
+            .with_ikr_scale(2.0)
+            .with_split_bound_rule(SplitBoundRule::Literal);
+        assert!(!c.variable_split);
+        assert!(!c.redistribute);
+        assert_eq!(c.reset_threshold, None);
+        assert_eq!(c.ikr_scale, 2.0);
+        assert_eq!(c.split_bound_rule, SplitBoundRule::Literal);
+        c.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf capacity")]
+    fn rejects_tiny_leaves() {
+        let _ = TreeConfig::small(8).with_leaf_capacity(1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Fast-path modes and their metadata (paper Table 1).
+//!
+//! All four index variants of the evaluation share one tree; they differ only
+//! in this module's [`FastPathMode`] and in which [`FastPathState`] fields
+//! they maintain:
+//!
+//! | field             | tail | ℓiℓ | poℓe/QuIT |
+//! |-------------------|------|-----|-----------|
+//! | `leaf` (fp_id)    |  ✓¹  |  ✓  |  ✓        |
+//! | `min`  (fp_min)   |  ✓   |  ✓  |  ✓        |
+//! | `max`  (fp_max)   |      |  ✓  |  ✓        |
+//! | `size` (fp_size)  |  ✓   |  ✓  |  ✓        |
+//! | `prev_id/min/size`|      |     |  ✓        |
+//! | `fails`           |      |     |  ✓        |
+//!
+//! ¹ tail mode reuses the tree's `tail_id`.
+
+use crate::arena::NodeId;
+use crate::key::Key;
+
+/// Which fast-path optimization the tree runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FastPathMode {
+    /// Classical B+-tree: every insert is a top-insert.
+    None,
+    /// Tail-leaf fast path (PostgreSQL-style): fast-insert keys that fall
+    /// into the right-most leaf.
+    Tail,
+    /// Last-insertion-leaf (§3): the fast-path pointer follows the most
+    /// recent insert, sorted or not.
+    Lil,
+    /// Predicted-ordered-leaf (§4): the pointer moves only on splits, under
+    /// IKR guidance. With `TreeConfig::{variable_split, redistribute,
+    /// reset_threshold}` enabled this is the full QuIT design; with them
+    /// disabled it is the paper's "poℓe-B+-tree" ablation.
+    Pole,
+}
+
+impl FastPathMode {
+    /// True when the mode maintains any fast-path state at all.
+    #[inline]
+    pub fn has_fast_path(self) -> bool {
+        !matches!(self, FastPathMode::None)
+    }
+
+    /// True for the poℓe-based modes (poℓe-B+-tree and QuIT).
+    #[inline]
+    pub fn is_pole(self) -> bool {
+        matches!(self, FastPathMode::Pole)
+    }
+}
+
+/// Fast-path metadata (Table 1). Less than 20 bytes beyond ℓiℓ's needs for
+/// the poℓe fields, plus the cached root-to-leaf path.
+#[derive(Clone, Debug)]
+pub struct FastPathState<K> {
+    /// The fast-path leaf (`fp_id`): tail leaf, ℓiℓ, or poℓe by mode.
+    pub leaf: Option<NodeId>,
+    /// Smallest key the fast-path leaf accepts (`fp_min`); `None` means
+    /// unbounded below (left-most leaf).
+    pub min: Option<K>,
+    /// Exclusive upper bound (`fp_max`); `None` means unbounded above
+    /// (the fast-path leaf is the tail, §4.2 omits the check).
+    pub max: Option<K>,
+    /// Cached occupancy of the fast-path leaf (`fp_size`).
+    pub size: usize,
+    /// Cached root-to-leaf path (`fp_path`), refreshed on splits; gives
+    /// split propagation its ancestors without a re-descent. Kept for
+    /// metadata parity with Table 1 — parent pointers are the operative
+    /// mechanism in this implementation.
+    pub path: Vec<NodeId>,
+    /// `poℓe_prev` node id (poℓe modes only).
+    pub prev_id: Option<NodeId>,
+    /// Smallest key of `poℓe_prev` (`p` in Eq. 2).
+    pub prev_min: Option<K>,
+    /// Occupancy of `poℓe_prev` (`poℓe_prev_size` in Eq. 2).
+    pub prev_size: usize,
+    /// The node split off poℓe whose smallest key IKR judged an outlier;
+    /// a later top-insert landing here can "catch up" (§4.2).
+    pub pole_next: Option<NodeId>,
+    /// Consecutive top-inserts since the last fast-insert (`poℓe_fails`);
+    /// reaching `T_R` triggers the reset strategy (§4.3).
+    pub fails: usize,
+}
+
+impl<K: Key> FastPathState<K> {
+    /// State for a brand-new single-leaf tree: the root leaf is the fast
+    /// path and accepts everything.
+    pub fn initial(root_leaf: NodeId) -> Self {
+        FastPathState {
+            leaf: Some(root_leaf),
+            min: None,
+            max: None,
+            size: 0,
+            path: vec![root_leaf],
+            prev_id: None,
+            prev_min: None,
+            prev_size: 0,
+            pole_next: None,
+            fails: 0,
+        }
+    }
+
+    /// True when `key` falls inside the fast-path acceptance range
+    /// `[fp_min, fp_max)`; missing bounds are unbounded.
+    #[inline]
+    pub fn covers(&self, key: K) -> bool {
+        if self.leaf.is_none() {
+            return false;
+        }
+        if let Some(min) = self.min {
+            if key < min {
+                return false;
+            }
+        }
+        if let Some(max) = self.max {
+            if key >= max {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Byte size of the metadata this variant keeps *beyond* a classical
+    /// B+-tree's `root/head/tail` ids (Table 1 accounting; excludes the
+    /// shared `fp_path` cache whose length is the tree height).
+    pub fn metadata_bytes(mode: FastPathMode) -> usize {
+        use std::mem::size_of;
+        let id = size_of::<NodeId>();
+        let key = size_of::<K>();
+        let sz = size_of::<u32>(); // sizes fit u32 for any realistic fanout
+        match mode {
+            FastPathMode::None => 0,
+            // fp_size + fp_min (tail reuses tail_id)
+            FastPathMode::Tail => sz + key,
+            // + fp_max + fp_id
+            FastPathMode::Lil => sz + key + key + id,
+            // + poℓe_prev_{size,min,id} + poℓe_fails
+            FastPathMode::Pole => sz + key + key + id + sz + key + id + sz,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_unbounded() {
+        let fp: FastPathState<u64> = FastPathState::initial(NodeId(0));
+        assert!(fp.covers(0));
+        assert!(fp.covers(u64::MAX));
+    }
+
+    #[test]
+    fn covers_half_open_range() {
+        let mut fp: FastPathState<u64> = FastPathState::initial(NodeId(0));
+        fp.min = Some(10);
+        fp.max = Some(20);
+        assert!(!fp.covers(9));
+        assert!(fp.covers(10));
+        assert!(fp.covers(19));
+        assert!(!fp.covers(20));
+    }
+
+    #[test]
+    fn covers_tail_has_no_upper_bound() {
+        let mut fp: FastPathState<u64> = FastPathState::initial(NodeId(0));
+        fp.min = Some(10);
+        fp.max = None;
+        assert!(fp.covers(u64::MAX));
+        assert!(!fp.covers(9));
+    }
+
+    #[test]
+    fn no_leaf_covers_nothing() {
+        let mut fp: FastPathState<u64> = FastPathState::initial(NodeId(0));
+        fp.leaf = None;
+        assert!(!fp.covers(5));
+    }
+
+    #[test]
+    fn metadata_fits_table_1_budget() {
+        // Paper §4.3: "QuIT needs less than 20 bytes of additional metadata"
+        // relative to the ℓiℓ variant, for 4-byte keys.
+        let lil = FastPathState::<u32>::metadata_bytes(FastPathMode::Lil);
+        let pole = FastPathState::<u32>::metadata_bytes(FastPathMode::Pole);
+        assert!(pole - lil < 20, "poℓe adds {} bytes", pole - lil);
+        assert_eq!(FastPathState::<u32>::metadata_bytes(FastPathMode::None), 0);
+        let tail = FastPathState::<u32>::metadata_bytes(FastPathMode::Tail);
+        assert!(tail < lil);
+    }
+
+    #[test]
+    fn mode_predicates() {
+        assert!(!FastPathMode::None.has_fast_path());
+        assert!(FastPathMode::Tail.has_fast_path());
+        assert!(FastPathMode::Pole.is_pole());
+        assert!(!FastPathMode::Lil.is_pole());
+    }
+}

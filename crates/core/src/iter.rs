@@ -1,0 +1,322 @@
+//! Range lookups and full scans (§4.4): a point lookup locates the first
+//! entry `>= start`, then the interlinked leaf pointers drive the scan until
+//! an entry `>= end` appears.
+
+use crate::arena::NodeId;
+use crate::key::Key;
+use crate::stats::Stats;
+use crate::tree::BpTree;
+
+/// Result of a range lookup, including the leaf-access count the paper's
+/// Fig 10c reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeResult<K, V> {
+    /// Matching `(key, value)` pairs in key order.
+    pub entries: Vec<(K, V)>,
+    /// Leaf nodes touched by the scan.
+    pub leaf_accesses: u64,
+}
+
+impl<K: Key, V: Clone> BpTree<K, V> {
+    /// All entries with keys in `[start, end)`, in key order, plus the
+    /// number of leaves the scan touched.
+    pub fn range(&self, start: K, end: K) -> RangeResult<K, V> {
+        Stats::bump(&self.stats.range_scans);
+        let mut entries = Vec::new();
+        let mut leaf_accesses = 0u64;
+        if start >= end || self.is_empty() {
+            return RangeResult {
+                entries,
+                leaf_accesses,
+            };
+        }
+        let (mut leaf_id, _, _, node_accesses) = self.descend(start);
+        Stats::add(&self.stats.lookup_node_accesses, node_accesses);
+        leaf_accesses += 1;
+        // A duplicate run equal to `start` may extend into earlier leaves.
+        loop {
+            let leaf = self.arena.get(leaf_id).as_leaf();
+            let back = leaf.keys.first().is_some_and(|&k| k >= start)
+                && leaf.prev.is_some_and(|p| {
+                    self.arena
+                        .get(p)
+                        .as_leaf()
+                        .keys
+                        .last()
+                        .is_some_and(|&k| k >= start)
+                });
+            if !back {
+                break;
+            }
+            leaf_id = leaf.prev.expect("checked above");
+            leaf_accesses += 1;
+        }
+        let mut pos = {
+            let leaf = self.arena.get(leaf_id).as_leaf();
+            leaf.keys.partition_point(|k| *k < start)
+        };
+        let mut current = Some(leaf_id);
+        'scan: while let Some(id) = current {
+            let leaf = self.arena.get(id).as_leaf();
+            while pos < leaf.keys.len() {
+                let k = leaf.keys[pos];
+                if k >= end {
+                    break 'scan;
+                }
+                entries.push((k, leaf.vals[pos].clone()));
+                pos += 1;
+            }
+            current = leaf.next;
+            if current.is_some() {
+                leaf_accesses += 1;
+            }
+            pos = 0;
+        }
+        Stats::add(&self.stats.range_leaf_accesses, leaf_accesses);
+        RangeResult {
+            entries,
+            leaf_accesses,
+        }
+    }
+
+    /// Number of entries in `[start, end)` without materializing values.
+    pub fn range_count(&self, start: K, end: K) -> usize {
+        self.range(start, end).entries.len()
+    }
+}
+
+impl<K: Key, V> BpTree<K, V> {
+    /// Lazy, non-materializing iterator over entries with keys in
+    /// `[start, end)`. Unlike [`BpTree::range`] it borrows values instead of
+    /// cloning them and does not count leaf accesses.
+    pub fn range_iter(&self, start: K, end: K) -> RangeIter<'_, K, V> {
+        if start >= end || self.is_empty() {
+            return RangeIter {
+                tree: self,
+                leaf: None,
+                pos: 0,
+                end,
+            };
+        }
+        let (mut leaf_id, _, _, _) = self.descend(start);
+        // Walk back through a duplicate run equal to `start`.
+        loop {
+            let leaf = self.arena.get(leaf_id).as_leaf();
+            let back = leaf.keys.first().is_some_and(|&k| k >= start)
+                && leaf.prev.is_some_and(|p| {
+                    self.arena
+                        .get(p)
+                        .as_leaf()
+                        .keys
+                        .last()
+                        .is_some_and(|&k| k >= start)
+                });
+            if !back {
+                break;
+            }
+            leaf_id = leaf.prev.expect("checked above");
+        }
+        let pos = self
+            .arena
+            .get(leaf_id)
+            .as_leaf()
+            .keys
+            .partition_point(|k| *k < start);
+        RangeIter {
+            tree: self,
+            leaf: Some(leaf_id),
+            pos,
+            end,
+        }
+    }
+
+    /// Iterates every `(key, &value)` entry in key order via the leaf chain.
+    pub fn iter(&self) -> TreeIter<'_, K, V> {
+        TreeIter {
+            tree: self,
+            leaf: Some(self.head),
+            pos: 0,
+        }
+    }
+
+    /// All keys in order (mainly for tests and examples).
+    pub fn keys(&self) -> Vec<K> {
+        self.iter().map(|(k, _)| k).collect()
+    }
+}
+
+/// Lazy iterator over a key range. See [`BpTree::range_iter`].
+pub struct RangeIter<'a, K, V> {
+    tree: &'a BpTree<K, V>,
+    leaf: Option<NodeId>,
+    pos: usize,
+    end: K,
+}
+
+impl<'a, K: Key, V> Iterator for RangeIter<'a, K, V> {
+    type Item = (K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let id = self.leaf?;
+            let leaf = self.tree.arena.get(id).as_leaf();
+            if self.pos < leaf.keys.len() {
+                let k = leaf.keys[self.pos];
+                if k >= self.end {
+                    self.leaf = None;
+                    return None;
+                }
+                let item = (k, &leaf.vals[self.pos]);
+                self.pos += 1;
+                return Some(item);
+            }
+            self.leaf = leaf.next;
+            self.pos = 0;
+        }
+    }
+}
+
+/// Ordered iterator over the whole index. See [`BpTree::iter`].
+pub struct TreeIter<'a, K, V> {
+    tree: &'a BpTree<K, V>,
+    leaf: Option<NodeId>,
+    pos: usize,
+}
+
+impl<'a, K: Key, V> Iterator for TreeIter<'a, K, V> {
+    type Item = (K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let id = self.leaf?;
+            let leaf = self.tree.arena.get(id).as_leaf();
+            if self.pos < leaf.keys.len() {
+                let item = (leaf.keys[self.pos], &leaf.vals[self.pos]);
+                self.pos += 1;
+                return Some(item);
+            }
+            self.leaf = leaf.next;
+            self.pos = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::TreeConfig;
+    use crate::fastpath::FastPathMode;
+    use crate::tree::BpTree;
+
+    fn filled(mode: FastPathMode, n: u64) -> BpTree<u64, u64> {
+        let mut t = BpTree::with_config(mode, TreeConfig::small(8));
+        for k in 0..n {
+            t.insert(k, k * 10);
+        }
+        t
+    }
+
+    #[test]
+    fn range_middle() {
+        let t = filled(FastPathMode::None, 100);
+        let r = t.range(10, 20);
+        assert_eq!(r.entries.len(), 10);
+        assert_eq!(r.entries[0], (10, 100));
+        assert_eq!(r.entries[9], (19, 190));
+        assert!(r.leaf_accesses >= 2);
+    }
+
+    #[test]
+    fn range_empty_and_degenerate() {
+        let t = filled(FastPathMode::None, 100);
+        assert!(t.range(20, 10).entries.is_empty());
+        assert!(t.range(15, 15).entries.is_empty());
+        assert!(t.range(1000, 2000).entries.is_empty());
+        let empty: BpTree<u64, u64> = BpTree::with_config(FastPathMode::None, TreeConfig::small(8));
+        assert!(empty.range(0, 10).entries.is_empty());
+    }
+
+    #[test]
+    fn range_full_span() {
+        let t = filled(FastPathMode::Pole, 500);
+        let r = t.range(0, 500);
+        assert_eq!(r.entries.len(), 500);
+        for (i, (k, v)) in r.entries.iter().enumerate() {
+            assert_eq!(*k, i as u64);
+            assert_eq!(*v, i as u64 * 10);
+        }
+    }
+
+    #[test]
+    fn range_spanning_duplicates() {
+        let mut t: BpTree<u64, u64> = BpTree::with_config(FastPathMode::None, TreeConfig::small(4));
+        for i in 0..20u64 {
+            t.insert(5, i);
+        }
+        t.insert(1, 0);
+        t.insert(9, 0);
+        let r = t.range(5, 6);
+        assert_eq!(r.entries.len(), 20, "all duplicates must be returned");
+        let r = t.range(0, 10);
+        assert_eq!(r.entries.len(), 22);
+    }
+
+    #[test]
+    fn quit_range_touches_fewer_leaves_than_classic() {
+        // Fig 10c's mechanism: QuIT packs sorted data tighter, so a fixed
+        // selectivity touches fewer leaves.
+        let quit = filled(FastPathMode::Pole, 4000);
+        let classic = filled(FastPathMode::None, 4000);
+        let rq = quit.range(1000, 2000);
+        let rc = classic.range(1000, 2000);
+        assert_eq!(rq.entries, rc.entries);
+        assert!(
+            rq.leaf_accesses < rc.leaf_accesses,
+            "QuIT {} vs classic {}",
+            rq.leaf_accesses,
+            rc.leaf_accesses
+        );
+    }
+
+    #[test]
+    fn iter_visits_everything_in_order() {
+        let t = filled(FastPathMode::Lil, 300);
+        let keys = t.keys();
+        assert_eq!(keys.len(), 300);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(t.iter().count(), 300);
+    }
+
+    #[test]
+    fn range_iter_matches_range() {
+        let t = filled(FastPathMode::Pole, 1000);
+        let lazy: Vec<(u64, u64)> = t.range_iter(100, 500).map(|(k, v)| (k, *v)).collect();
+        let eager = t.range(100, 500).entries;
+        assert_eq!(lazy, eager);
+        assert_eq!(t.range_iter(5, 5).count(), 0);
+        assert_eq!(t.range_iter(2000, 3000).count(), 0);
+        let empty: BpTree<u64, u64> = BpTree::with_config(FastPathMode::None, TreeConfig::small(8));
+        assert_eq!(empty.range_iter(0, 100).count(), 0);
+    }
+
+    #[test]
+    fn range_iter_is_lazy_over_duplicates() {
+        let mut t: BpTree<u64, u64> = BpTree::with_config(FastPathMode::None, TreeConfig::small(4));
+        for i in 0..30u64 {
+            t.insert(7, i);
+        }
+        t.insert(1, 0);
+        assert_eq!(t.range_iter(7, 8).count(), 30);
+        // take() stops early without scanning the rest.
+        assert_eq!(t.range_iter(0, 100).take(3).count(), 3);
+    }
+
+    #[test]
+    fn range_stats_accumulate() {
+        let t = filled(FastPathMode::None, 100);
+        t.stats().reset();
+        let _ = t.range(0, 50);
+        let _ = t.range(50, 100);
+        assert_eq!(t.stats().range_scans.get(), 2);
+        assert!(t.stats().range_leaf_accesses.get() > 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Key trait for QuIT indexes.
+//!
+//! The In-order Key estimatoR (IKR, paper Eq. 2) needs light arithmetic on
+//! keys: a density `(q − p) / poℓe_prev_size` and a scaled extrapolation.
+//! Rather than demanding numeric traits, keys project into `f64`; every
+//! provided key type round-trips the magnitudes the estimator cares about.
+
+use std::fmt::Debug;
+
+/// A key type usable by [`crate::BpTree`].
+///
+/// Keys must be totally ordered, cheap to copy, and projectable to `f64`
+/// so that the IKR outlier bound (paper Eq. 2) can be evaluated. The
+/// projection only needs to be monotonic: `a < b ⇒ a.to_ikr() <= b.to_ikr()`.
+pub trait Key: Copy + Ord + Debug {
+    /// Monotonic projection into `f64` used by the IKR estimator.
+    fn to_ikr(self) -> f64;
+}
+
+macro_rules! impl_key_int {
+    ($($t:ty),*) => {
+        $(impl Key for $t {
+            #[inline]
+            fn to_ikr(self) -> f64 {
+                self as f64
+            }
+        })*
+    };
+}
+
+impl_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A totally ordered `f64` wrapper (NaN is not permitted) so floating-point
+/// attributes — e.g. the stock closing prices of the paper's Fig. 15 — can be
+/// indexed directly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OrderedF64(pub f64);
+
+impl OrderedF64 {
+    /// Wraps a float, panicking on NaN (NaN has no place in an ordered index).
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        assert!(!v.is_nan(), "OrderedF64 cannot hold NaN");
+        OrderedF64(v)
+    }
+
+    /// The wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Safe: NaN is rejected at construction.
+        self.0.partial_cmp(&other.0).expect("NaN in OrderedF64")
+    }
+}
+
+impl Key for OrderedF64 {
+    #[inline]
+    fn to_ikr(self) -> f64 {
+        self.0
+    }
+}
+
+impl From<f64> for OrderedF64 {
+    #[inline]
+    fn from(v: f64) -> Self {
+        OrderedF64::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_projection_is_monotonic() {
+        let samples: [u64; 5] = [0, 1, 42, 1 << 32, u64::MAX >> 12];
+        for w in samples.windows(2) {
+            assert!(w[0].to_ikr() <= w[1].to_ikr());
+        }
+    }
+
+    #[test]
+    fn signed_projection_handles_negatives() {
+        assert!((-5i64).to_ikr() < 0.0);
+        assert!((-5i64).to_ikr() < (-4i64).to_ikr());
+    }
+
+    #[test]
+    fn ordered_f64_total_order() {
+        let mut v = [
+            OrderedF64::new(3.5),
+            OrderedF64::new(-1.0),
+            OrderedF64::new(0.0),
+        ];
+        v.sort();
+        assert_eq!(v[0].get(), -1.0);
+        assert_eq!(v[2].get(), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn ordered_f64_rejects_nan() {
+        OrderedF64::new(f64::NAN);
+    }
+
+    #[test]
+    fn ordered_f64_from_f64() {
+        let x: OrderedF64 = 2.25.into();
+        assert_eq!(x.get(), 2.25);
+        assert_eq!(x.to_ikr(), 2.25);
+    }
+}

@@ -1,0 +1,146 @@
+//! Snapshot persistence: extract a tree's logical content (entries +
+//! configuration) and rebuild it later. Rebuilding uses the bulk loader, so
+//! a restored index starts with optimally packed leaves regardless of the
+//! insertion history that produced the snapshot; the fast path re-arms at
+//! the tail and ingestion resumes seamlessly.
+//!
+//! With the `serde` feature enabled, [`TreeSnapshot`] (de)serializes with
+//! any serde format, giving durable on-disk persistence for free.
+
+use crate::config::TreeConfig;
+use crate::fastpath::FastPathMode;
+use crate::key::Key;
+use crate::tree::BpTree;
+
+/// A portable, self-contained snapshot of an index.
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TreeSnapshot<K, V> {
+    /// Fast-path mode the tree ran with.
+    pub mode: FastPathMode,
+    /// Tree geometry and QuIT feature toggles.
+    pub config: TreeConfig,
+    /// Every entry, sorted by key (duplicates preserved in order).
+    pub entries: Vec<(K, V)>,
+}
+
+impl<K: Key, V: Clone> BpTree<K, V> {
+    /// Captures the tree's logical state. Entries come out in key order via
+    /// the leaf chain, so this is a single O(n) scan.
+    pub fn to_snapshot(&self) -> TreeSnapshot<K, V> {
+        TreeSnapshot {
+            mode: self.mode(),
+            config: self.config().clone(),
+            entries: self.iter().map(|(k, v)| (k, v.clone())).collect(),
+        }
+    }
+
+    /// Rebuilds an index from a snapshot with fully packed leaves
+    /// (`fill = 1.0`); pass a lower `fill` through
+    /// [`TreeSnapshot::restore_with_fill`] to leave insert headroom.
+    pub fn from_snapshot(snapshot: TreeSnapshot<K, V>) -> Self {
+        snapshot.restore_with_fill(1.0)
+    }
+}
+
+impl<K: Key, V> TreeSnapshot<K, V> {
+    /// Rebuilds the index, packing leaves to `fill` of capacity.
+    pub fn restore_with_fill(self, fill: f64) -> BpTree<K, V> {
+        BpTree::bulk_load(self.mode, self.config, self.entries, fill)
+    }
+
+    /// Number of entries captured.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variants::Variant;
+
+    fn build() -> BpTree<u64, u64> {
+        let mut t = Variant::Quit.build(TreeConfig::small(8));
+        for k in [5u64, 1, 9, 3, 7, 2, 8, 4, 6, 0] {
+            t.insert(k, k * 10);
+        }
+        for k in 10..500u64 {
+            t.insert(k, k * 10);
+        }
+        t
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_content() {
+        let t = build();
+        let snap = t.to_snapshot();
+        assert_eq!(snap.len(), t.len());
+        assert!(snap.entries.windows(2).all(|w| w[0].0 <= w[1].0));
+        let restored = BpTree::from_snapshot(snap);
+        assert_eq!(restored.len(), t.len());
+        for k in 0..500u64 {
+            assert_eq!(restored.get(k), t.get(k), "key {k}");
+        }
+        restored.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn restored_tree_is_packed_and_ingests_fast() {
+        let t = build();
+        let mut restored = BpTree::from_snapshot(t.to_snapshot());
+        assert!(restored.memory_report().avg_leaf_occupancy > 0.95);
+        restored.stats().reset();
+        for k in 500..1000u64 {
+            restored.insert(k, k);
+        }
+        assert_eq!(restored.stats().top_inserts.get(), 0, "fast path re-armed");
+        restored.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn restore_with_headroom() {
+        let t = build();
+        let restored = t.to_snapshot().restore_with_fill(0.7);
+        let occ = restored.memory_report().avg_leaf_occupancy;
+        assert!((0.6..0.8).contains(&occ), "occupancy {occ}");
+        restored.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn snapshot_preserves_duplicates() {
+        let mut t: BpTree<u64, u64> = Variant::Classic.build(TreeConfig::small(4));
+        for i in 0..30u64 {
+            t.insert(7, i);
+        }
+        let restored = BpTree::from_snapshot(t.to_snapshot());
+        assert_eq!(restored.get_all(7).len(), 30);
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let t: BpTree<u64, u64> = Variant::Quit.build(TreeConfig::small(4));
+        let snap = t.to_snapshot();
+        assert!(snap.is_empty());
+        let restored = BpTree::from_snapshot(snap);
+        assert!(restored.is_empty());
+        restored.check_invariants().unwrap();
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn serde_roundtrip() {
+        let t = build();
+        let snap = t.to_snapshot();
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: TreeSnapshot<u64, u64> = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, snap);
+        let restored = BpTree::from_snapshot(back);
+        assert_eq!(restored.len(), t.len());
+    }
+}

@@ -1,0 +1,195 @@
+//! Operation counters and memory accounting.
+//!
+//! Every figure in the paper's evaluation reads one of these counters:
+//! fast-insert vs top-insert fractions (Figs 3, 5a, 9, 11, 12), node
+//! accesses per lookup (Fig 10b/c), and paged memory footprint (Table 2,
+//! Fig 10a). Counters use `Cell` so read paths (`get`, range scans) can
+//! count through `&self`.
+
+use std::cell::Cell;
+
+/// Mutable-through-`&self` counters attached to a tree.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Inserts that used the fast path (no root-to-leaf traversal).
+    pub fast_inserts: Cell<u64>,
+    /// Inserts that performed a full top-to-bottom traversal.
+    pub top_inserts: Cell<u64>,
+    /// Leaf splits performed (any cause).
+    pub leaf_splits: Cell<u64>,
+    /// Internal-node splits performed.
+    pub internal_splits: Cell<u64>,
+    /// Variable (non-50/50) leaf splits taken by QuIT's Algorithm 2.
+    pub variable_splits: Cell<u64>,
+    /// Redistributions into `poℓe_prev` (Algorithm 2 line 10).
+    pub redistributions: Cell<u64>,
+    /// Fast-path resets after `T_R` consecutive top-inserts.
+    pub fp_resets: Cell<u64>,
+    /// poℓe catch-up promotions (§4.2 "Catching Up to Predicted Outliers").
+    pub pole_catch_ups: Cell<u64>,
+    /// Nodes touched by point lookups (internal + leaf).
+    pub lookup_node_accesses: Cell<u64>,
+    /// Leaf nodes touched by range scans.
+    pub range_leaf_accesses: Cell<u64>,
+    /// Point lookups issued.
+    pub lookups: Cell<u64>,
+    /// Range scans issued.
+    pub range_scans: Cell<u64>,
+    /// Entries removed by `delete`.
+    pub deletes: Cell<u64>,
+    /// Leaf merges triggered by delete rebalancing.
+    pub leaf_merges: Cell<u64>,
+    /// Sibling borrows triggered by delete rebalancing.
+    pub leaf_borrows: Cell<u64>,
+}
+
+impl Stats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Zeroes every counter (e.g. between ingest and query phases).
+    pub fn reset(&self) {
+        self.fast_inserts.set(0);
+        self.top_inserts.set(0);
+        self.leaf_splits.set(0);
+        self.internal_splits.set(0);
+        self.variable_splits.set(0);
+        self.redistributions.set(0);
+        self.fp_resets.set(0);
+        self.pole_catch_ups.set(0);
+        self.lookup_node_accesses.set(0);
+        self.range_leaf_accesses.set(0);
+        self.lookups.set(0);
+        self.range_scans.set(0);
+        self.deletes.set(0);
+        self.leaf_merges.set(0);
+        self.leaf_borrows.set(0);
+    }
+
+    /// Total inserts observed (fast + top).
+    pub fn total_inserts(&self) -> u64 {
+        self.fast_inserts.get() + self.top_inserts.get()
+    }
+
+    /// Fraction of inserts that took the fast path, in `[0, 1]`.
+    /// Returns 0 when no insert has happened.
+    pub fn fast_insert_fraction(&self) -> f64 {
+        let total = self.total_inserts();
+        if total == 0 {
+            0.0
+        } else {
+            self.fast_inserts.get() as f64 / total as f64
+        }
+    }
+
+    /// Snapshot of the counters as plain integers (handy for diffing).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            fast_inserts: self.fast_inserts.get(),
+            top_inserts: self.top_inserts.get(),
+            leaf_splits: self.leaf_splits.get(),
+            internal_splits: self.internal_splits.get(),
+            variable_splits: self.variable_splits.get(),
+            redistributions: self.redistributions.get(),
+            fp_resets: self.fp_resets.get(),
+            pole_catch_ups: self.pole_catch_ups.get(),
+            lookup_node_accesses: self.lookup_node_accesses.get(),
+            range_leaf_accesses: self.range_leaf_accesses.get(),
+            lookups: self.lookups.get(),
+            range_scans: self.range_scans.get(),
+            deletes: self.deletes.get(),
+            leaf_merges: self.leaf_merges.get(),
+            leaf_borrows: self.leaf_borrows.get(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn bump(cell: &Cell<u64>) {
+        cell.set(cell.get() + 1);
+    }
+
+    #[inline]
+    pub(crate) fn add(cell: &Cell<u64>, n: u64) {
+        cell.set(cell.get() + n);
+    }
+}
+
+/// Plain-integer copy of [`Stats`] at a point in time. Fields mirror
+/// [`Stats`] one-to-one.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    pub fast_inserts: u64,
+    pub top_inserts: u64,
+    pub leaf_splits: u64,
+    pub internal_splits: u64,
+    pub variable_splits: u64,
+    pub redistributions: u64,
+    pub fp_resets: u64,
+    pub pole_catch_ups: u64,
+    pub lookup_node_accesses: u64,
+    pub range_leaf_accesses: u64,
+    pub lookups: u64,
+    pub range_scans: u64,
+    pub deletes: u64,
+    pub leaf_merges: u64,
+    pub leaf_borrows: u64,
+}
+
+/// Memory-footprint report for Table 2 / Fig 10a.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryReport {
+    /// Live leaf nodes.
+    pub leaf_nodes: usize,
+    /// Live internal nodes.
+    pub internal_nodes: usize,
+    /// Paged footprint: every live node charged one full page, plus
+    /// fast-path metadata.
+    pub paged_bytes: usize,
+    /// Fast-path metadata bytes (Table 1 fields for the active variant).
+    pub metadata_bytes: usize,
+    /// Mean leaf occupancy as a fraction of leaf capacity, in `[0, 1]`.
+    pub avg_leaf_occupancy: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_handles_zero() {
+        let s = Stats::new();
+        assert_eq!(s.fast_insert_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fraction_counts() {
+        let s = Stats::new();
+        Stats::add(&s.fast_inserts, 3);
+        Stats::bump(&s.top_inserts);
+        assert_eq!(s.total_inserts(), 4);
+        assert!((s.fast_insert_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = Stats::new();
+        Stats::add(&s.fast_inserts, 5);
+        Stats::add(&s.range_leaf_accesses, 7);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let s = Stats::new();
+        Stats::bump(&s.leaf_splits);
+        Stats::bump(&s.deletes);
+        let snap = s.snapshot();
+        assert_eq!(snap.leaf_splits, 1);
+        assert_eq!(snap.deletes, 1);
+        assert_eq!(snap.fast_inserts, 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Structural stress at extreme geometries: minimum capacities (tall,
+//! narrow trees where every path cascades), repeated root growth/collapse,
+//! and bulk operations interleaved with incremental ones.
+
+use quit_core::{BpTree, FastPathMode, TreeConfig, Variant};
+
+fn narrow(mode: FastPathMode) -> BpTree<u64, u64> {
+    let mut config = TreeConfig::small(2);
+    config.internal_capacity = 3;
+    BpTree::with_config(mode, config)
+}
+
+#[test]
+fn minimum_geometry_sorted_fill() {
+    let mut t = narrow(FastPathMode::Pole);
+    for k in 0..2_000u64 {
+        t.insert(k, k);
+    }
+    assert!(t.height() >= 6, "height {}", t.height());
+    t.check_invariants().unwrap();
+    for k in (0..2_000).step_by(101) {
+        assert_eq!(t.get(k), Some(&k));
+    }
+}
+
+#[test]
+fn minimum_geometry_random_churn() {
+    use rand::prelude::*;
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut t = narrow(FastPathMode::Pole);
+    let mut live = std::collections::BTreeSet::new();
+    for op in 0..20_000 {
+        let k = rng.gen_range(0..500u64);
+        if rng.gen_bool(0.55) {
+            if live.insert(k) {
+                t.insert(k, k);
+            }
+        } else if live.remove(&k) {
+            assert!(t.delete(k).is_some(), "op {op} delete {k}");
+        }
+        if op % 500 == 0 {
+            t.check_invariants()
+                .unwrap_or_else(|e| panic!("op {op}: {e}"));
+        }
+    }
+    assert_eq!(t.len(), live.len());
+    let keys: Vec<u64> = t.keys();
+    let expect: Vec<u64> = live.into_iter().collect();
+    assert_eq!(keys, expect);
+}
+
+#[test]
+fn root_grows_and_collapses_repeatedly() {
+    let mut t = narrow(FastPathMode::None);
+    for round in 0..5 {
+        for k in 0..500u64 {
+            t.insert(k, k);
+        }
+        assert!(t.height() > 3, "round {round}");
+        for k in 0..500u64 {
+            assert_eq!(t.delete(k), Some(k), "round {round} key {k}");
+        }
+        assert!(t.is_empty(), "round {round}");
+        assert_eq!(t.height(), 1, "round {round}: root must collapse");
+        t.check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn bulk_then_incremental_then_bulk() {
+    let mut t: BpTree<u64, u64> = BpTree::bulk_load(
+        FastPathMode::Pole,
+        TreeConfig::small(8),
+        (0..1_000u64).map(|k| (k * 2, k)),
+        0.8,
+    );
+    // Incremental inserts fill the gaps the bulk load left.
+    for k in 0..1_000u64 {
+        t.insert(k * 2 + 1, k);
+    }
+    t.check_invariants().unwrap();
+    assert_eq!(t.len(), 2_000);
+    // Append another run past the max.
+    t.append_sorted((2_000..2_500u64).map(|k| (k, k)));
+    t.check_invariants().unwrap();
+    assert_eq!(t.len(), 2_500);
+    assert_eq!(t.range_count(0, 3_000), 2_500);
+}
+
+#[test]
+fn bulk_insert_run_into_populated_interior() {
+    let mut t: BpTree<u64, u64> = Variant::Quit.build(TreeConfig::small(8));
+    for k in (0..10_000u64).step_by(10) {
+        t.insert(k, k);
+    }
+    // A sorted run landing mid-tree (the SWARE flush path).
+    let run: Vec<(u64, u64)> = (5_000..5_500).map(|k| (k, k)).collect();
+    let descents = t.bulk_insert_run(&run);
+    assert!(
+        descents < run.len() / 3,
+        "bulk run should amortize descents, used {descents}"
+    );
+    t.check_invariants().unwrap();
+    for k in 5_000..5_500 {
+        assert!(t.contains_key(k), "key {k}");
+    }
+    // And the fast path still works for the tail afterwards.
+    t.stats().reset();
+    for k in 10_000..10_500u64 {
+        t.insert(k, k);
+    }
+    assert!(t.stats().fast_insert_fraction() > 0.9);
+}
+
+#[test]
+fn interleaved_ascending_streams() {
+    // Two interleaved sorted streams (e.g. two partitions merged round
+    // robin): locally alternating, globally two dense runs.
+    let mut t: BpTree<u64, u64> = Variant::Quit.build(TreeConfig::small(16));
+    for i in 0..5_000u64 {
+        t.insert(i, i); // low stream
+        t.insert(1_000_000 + i, i); // high stream
+    }
+    t.check_invariants().unwrap();
+    assert_eq!(t.len(), 10_000);
+    // The fast path cannot serve both alternating frontiers at once, but
+    // correctness and a sane structure must hold.
+    let m = t.memory_report();
+    assert!(
+        m.avg_leaf_occupancy >= 0.5,
+        "occupancy {}",
+        m.avg_leaf_occupancy
+    );
+}
+
+#[test]
+fn duplicate_storms_at_minimum_capacity() {
+    let mut t = narrow(FastPathMode::Pole);
+    for i in 0..300u64 {
+        t.insert(42, i);
+    }
+    for i in 0..300u64 {
+        t.insert(41, i);
+        t.insert(43, i);
+    }
+    t.check_invariants().unwrap();
+    assert_eq!(t.get_all(42).len(), 300);
+    assert_eq!(t.range_count(41, 44), 900);
+    for _ in 0..300 {
+        assert!(t.delete(42).is_some());
+    }
+    assert_eq!(t.get(42), None);
+    assert_eq!(t.len(), 600);
+    t.check_invariants().unwrap();
+}

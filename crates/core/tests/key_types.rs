@@ -1,0 +1,109 @@
+//! End-to-end coverage for non-u64 key types: signed integers (negative
+//! domains) and ordered floats (the stock-price attribute of Fig 15 in its
+//! natural type), exercising IKR arithmetic through each.
+
+use quit_core::{BpTree, FastPathMode, OrderedF64, TreeConfig, Variant};
+
+#[test]
+fn signed_keys_with_negative_domain() {
+    let mut t: BpTree<i64, u64> = BpTree::with_config(FastPathMode::Pole, TreeConfig::small(8));
+    // Near-sorted climb from a negative start: IKR density must stay sane
+    // across zero.
+    let mut i = 0u64;
+    for k in -5000..5000i64 {
+        t.insert(k, i);
+        i += 1;
+        if k % 500 == 250 {
+            t.insert(k - 3000, 0); // out-of-order entry
+            i += 1;
+        }
+    }
+    assert!(t.stats().fast_insert_fraction() > 0.9);
+    t.check_invariants().unwrap();
+    assert!(t.contains_key(-5000));
+    assert!(t.contains_key(4999));
+    assert_eq!(t.range(-10, 10).entries.len(), 20);
+    // Deletes across the sign boundary.
+    for k in -100..100i64 {
+        assert!(t.delete(k).is_some(), "key {k}");
+    }
+    t.check_invariants().unwrap();
+}
+
+#[test]
+fn float_keys_end_to_end() {
+    let mut t: BpTree<OrderedF64, u32> =
+        BpTree::with_config(FastPathMode::Pole, TreeConfig::small(8));
+    // A drifting price-like series.
+    let mut price = 100.0f64;
+    let mut seed = 0x9E3779B97F4A7C15u64;
+    let mut next = || {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (seed >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for i in 0..20_000u32 {
+        price += 0.05 + (next() - 0.5) * 0.4;
+        t.insert(OrderedF64::new(price), i);
+    }
+    assert_eq!(t.len(), 20_000);
+    t.check_invariants().unwrap();
+    // The upward drift means substantial fast-path usage despite jitter.
+    assert!(
+        t.stats().fast_insert_fraction() > 0.3,
+        "fast fraction {:.3}",
+        t.stats().fast_insert_fraction()
+    );
+    // Range over a price band.
+    let band = t.range(OrderedF64::new(200.0), OrderedF64::new(300.0));
+    assert!(band.entries.windows(2).all(|w| w[0].0 <= w[1].0));
+    // Floor/ceiling on floats.
+    if let Some((k, _)) = t.floor(OrderedF64::new(500.0)) {
+        assert!(k <= OrderedF64::new(500.0));
+    }
+}
+
+#[test]
+fn u32_keys_paper_entry_size() {
+    // The paper's default entries are 8 B with 4 B keys.
+    let mut t: BpTree<u32, u32> = Variant::Quit.build(TreeConfig::small(16));
+    for k in 0..50_000u32 {
+        t.insert(k, k);
+    }
+    assert_eq!(t.stats().top_inserts.get(), 0);
+    assert!(t.memory_report().avg_leaf_occupancy > 0.9);
+    t.check_invariants().unwrap();
+}
+
+#[test]
+fn extreme_u64_values_do_not_break_ikr() {
+    let mut t: BpTree<u64, u64> = BpTree::with_config(FastPathMode::Pole, TreeConfig::small(4));
+    // Giant keys stress the f64 projection (precision loss is fine; order
+    // decisions must remain consistent).
+    let base = u64::MAX - 100_000;
+    for k in 0..50_000u64 {
+        t.insert(base.wrapping_add(k), k);
+    }
+    assert_eq!(t.len(), 50_000);
+    t.check_invariants().unwrap();
+    assert!(t.contains_key(base));
+    assert!(t.contains_key(base + 49_999));
+}
+
+#[test]
+fn descending_float_stream_is_worst_case_but_correct() {
+    let mut t: BpTree<OrderedF64, u32> =
+        BpTree::with_config(FastPathMode::Pole, TreeConfig::small(8));
+    for i in 0..5_000u32 {
+        t.insert(OrderedF64::new(10_000.0 - i as f64), i);
+    }
+    // Monotonically decreasing data defeats the (increasing-order) fast
+    // path, as the paper expects — but the index stays correct.
+    t.check_invariants().unwrap();
+    assert_eq!(t.len(), 5_000);
+    assert_eq!(
+        t.first().map(|e| e.0),
+        Some(OrderedF64::new(10_000.0 - 4_999.0))
+    );
+}

@@ -1,0 +1,190 @@
+//! Blocked Bloom filter used by the SWARE buffer (paper §2: a global filter
+//! plus one per buffer page, rebuilt — "re-calibrated" — on every flush).
+
+use std::hash::{Hash, Hasher};
+
+/// FxHash-style multiplicative hasher: Bloom probes run on every single
+/// insert and lookup, so hashing must cost nanoseconds, not a SipHash
+/// round. Not HashDoS-resistant — irrelevant for a filter that only trades
+/// false-positive rate.
+#[derive(Default)]
+struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche so low bits are usable as probe indices.
+        let mut h = self.state;
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        h ^= h >> 32;
+        h
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.mix(i);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.mix(i as u64);
+    }
+}
+
+/// A plain Bloom filter with double hashing (Kirsch–Mitzenmacher).
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    mask: u64,
+    hashes: u32,
+    items: usize,
+}
+
+impl BloomFilter {
+    /// A filter sized for `expected_items` at roughly `bits_per_key` bits
+    /// each (rounded up to a power-of-two bit count).
+    pub fn new(expected_items: usize, bits_per_key: usize) -> Self {
+        let want_bits = (expected_items.max(1) * bits_per_key.max(1)).max(64);
+        let bits = want_bits.next_power_of_two();
+        // k ≈ ln2 · bits/n, clamped to a sane range.
+        let hashes = ((bits_per_key as f64) * std::f64::consts::LN_2)
+            .round()
+            .clamp(1.0, 16.0) as u32;
+        BloomFilter {
+            bits: vec![0; bits / 64],
+            mask: (bits - 1) as u64,
+            hashes,
+            items: 0,
+        }
+    }
+
+    fn base_hashes<T: Hash>(&self, item: &T) -> (u64, u64) {
+        let mut h1 = FxHasher::default();
+        item.hash(&mut h1);
+        let a = h1.finish();
+        // Derive a second independent hash by mixing.
+        let b = a
+            .rotate_left(31)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(17)
+            | 1; // odd so probes cycle the whole table
+        (a, b)
+    }
+
+    /// Records an item.
+    pub fn insert<T: Hash>(&mut self, item: &T) {
+        let (a, b) = self.base_hashes(item);
+        for i in 0..self.hashes as u64 {
+            let bit = a.wrapping_add(i.wrapping_mul(b)) & self.mask;
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+        self.items += 1;
+    }
+
+    /// True when the item *might* have been inserted (false positives
+    /// possible, false negatives not).
+    pub fn may_contain<T: Hash>(&self, item: &T) -> bool {
+        let (a, b) = self.base_hashes(item);
+        for i in 0..self.hashes as u64 {
+            let bit = a.wrapping_add(i.wrapping_mul(b)) & self.mask;
+            if self.bits[(bit / 64) as usize] & (1 << (bit % 64)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Forgets everything (used at flush re-calibration).
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+        self.items = 0;
+    }
+
+    /// Number of inserts since the last clear.
+    pub fn len(&self) -> usize {
+        self.items
+    }
+
+    /// True when nothing has been inserted since the last clear.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// Bytes of filter storage (for memory accounting).
+    pub fn size_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(1000, 10);
+        for k in 0..1000u64 {
+            f.insert(&k);
+        }
+        for k in 0..1000u64 {
+            assert!(f.may_contain(&k), "false negative for {k}");
+        }
+        assert_eq!(f.len(), 1000);
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut f = BloomFilter::new(10_000, 10);
+        for k in 0..10_000u64 {
+            f.insert(&k);
+        }
+        let fp = (10_000..110_000u64).filter(|k| f.may_contain(k)).count();
+        let rate = fp as f64 / 100_000.0;
+        assert!(rate < 0.05, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f = BloomFilter::new(100, 10);
+        f.insert(&42u64);
+        assert!(f.may_contain(&42u64));
+        f.clear();
+        assert!(!f.may_contain(&42u64));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn sizing_is_sane() {
+        let f = BloomFilter::new(1000, 10);
+        assert!(f.size_bytes() >= 1000 * 10 / 8);
+        assert!(f.size_bytes() <= 4 * 1000 * 10 / 8);
+        let tiny = BloomFilter::new(0, 10);
+        assert!(tiny.size_bytes() >= 8);
+    }
+}

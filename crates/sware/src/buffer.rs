@@ -1,0 +1,404 @@
+//! The SWARE insert buffer: fixed-capacity pages with Zonemaps, per-page
+//! Bloom filters, and query-driven partial sorting (cracking-inspired).
+//!
+//! In-order arrivals append to the tail page; out-of-order arrivals scan the
+//! Zonemaps for an overlapping page (this is the extra insert-time work the
+//! paper charges SWARE for). Pages are sorted lazily, the first time a query
+//! probes them.
+
+use crate::bloom::BloomFilter;
+use quit_core::Key;
+use std::hash::Hash;
+
+/// Per-page Zonemap: the min/max key range the page covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Zone<K> {
+    /// Smallest key in the page.
+    pub min: K,
+    /// Largest key in the page.
+    pub max: K,
+}
+
+impl<K: Key> Zone<K> {
+    /// True when `key` falls inside the zone.
+    #[inline]
+    pub fn covers(&self, key: K) -> bool {
+        self.min <= key && key <= self.max
+    }
+
+    /// True when the zone intersects `[start, end)`.
+    #[inline]
+    pub fn overlaps(&self, start: K, end: K) -> bool {
+        self.min < end && self.max >= start
+    }
+}
+
+/// One buffer page: unsorted on arrival, sorted on first probe.
+#[derive(Debug)]
+pub struct BufferPage<K, V> {
+    pub(crate) entries: Vec<(K, V)>,
+    pub(crate) zone: Option<Zone<K>>,
+    pub(crate) bloom: BloomFilter,
+    pub(crate) sorted: bool,
+}
+
+impl<K: Key + Hash, V> BufferPage<K, V> {
+    fn new(capacity: usize, bits_per_key: usize) -> Self {
+        BufferPage {
+            entries: Vec::with_capacity(capacity),
+            zone: None,
+            bloom: BloomFilter::new(capacity, bits_per_key),
+            sorted: true,
+        }
+    }
+
+    fn push(&mut self, key: K, value: V) {
+        if let Some(&(last, _)) = self.entries.last() {
+            if key < last {
+                self.sorted = false;
+            }
+        }
+        self.zone = Some(match self.zone {
+            None => Zone { min: key, max: key },
+            Some(z) => Zone {
+                min: z.min.min(key),
+                max: z.max.max(key),
+            },
+        });
+        self.bloom.insert(&key);
+        self.entries.push((key, value));
+    }
+
+    /// Query-driven partial sort: sorts the page in place once.
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.entries.sort_by_key(|a| a.0);
+            self.sorted = true;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Counters describing buffer behaviour (used by the harness to explain the
+/// SWARE read penalty).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Appends that went straight to the tail page (in-order arrivals).
+    pub tail_appends: u64,
+    /// Inserts that had to scan Zonemaps for an overlapping page.
+    pub zonemap_scans: u64,
+    /// Pages lazily sorted by queries.
+    pub pages_cracked: u64,
+    /// Point probes answered (positively or negatively) by the buffer.
+    pub probes: u64,
+    /// Probes rejected cheaply by the global Bloom filter.
+    pub global_bloom_rejects: u64,
+}
+
+/// The SWARE in-memory buffer.
+#[derive(Debug)]
+pub struct SwareBuffer<K, V> {
+    pages: Vec<BufferPage<K, V>>,
+    page_capacity: usize,
+    capacity: usize,
+    len: usize,
+    bits_per_key: usize,
+    global_bloom: BloomFilter,
+    last_key: Option<K>,
+    pub(crate) stats: BufferStats,
+}
+
+impl<K: Key + Hash, V: Clone> SwareBuffer<K, V> {
+    /// A buffer holding up to `capacity` entries in pages of
+    /// `page_capacity`.
+    pub fn new(capacity: usize, page_capacity: usize, bits_per_key: usize) -> Self {
+        assert!(capacity >= page_capacity, "buffer must fit at least a page");
+        SwareBuffer {
+            pages: Vec::new(),
+            page_capacity,
+            capacity,
+            len: 0,
+            bits_per_key,
+            global_bloom: BloomFilter::new(capacity, bits_per_key),
+            last_key: None,
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Entries currently buffered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when the buffer reached capacity and must flush.
+    pub fn is_full(&self) -> bool {
+        self.len >= self.capacity
+    }
+
+    /// Buffers an entry. In-order keys append to the tail page; out-of-order
+    /// keys pay a Zonemap scan for an overlapping page with room.
+    pub fn insert(&mut self, key: K, value: V) {
+        debug_assert!(!self.is_full(), "flush before inserting into a full buffer");
+        let in_order = self.last_key.is_none_or(|l| key >= l);
+        self.last_key = Some(self.last_key.map_or(key, |l| l.max(key)));
+        self.global_bloom.insert(&key);
+        self.len += 1;
+        if in_order {
+            self.stats.tail_appends += 1;
+            self.push_tail(key, value);
+            return;
+        }
+        // Out-of-order: linear Zonemap scan (the cost §2 describes).
+        self.stats.zonemap_scans += 1;
+        let slot = self
+            .pages
+            .iter()
+            .position(|p| p.len() < self.page_capacity && p.zone.is_some_and(|z| z.covers(key)));
+        match slot {
+            Some(i) => self.pages[i].push(key, value),
+            None => self.push_tail(key, value),
+        }
+    }
+
+    fn push_tail(&mut self, key: K, value: V) {
+        let need_new = self
+            .pages
+            .last()
+            .is_none_or(|p| p.len() >= self.page_capacity);
+        if need_new {
+            self.pages
+                .push(BufferPage::new(self.page_capacity, self.bits_per_key));
+        }
+        self.pages
+            .last_mut()
+            .expect("just ensured")
+            .push(key, value);
+    }
+
+    /// Point probe. Returns a clone of the most recently buffered value for
+    /// `key`, if any. Costs: global Bloom, then per-page Bloom + Zonemap,
+    /// then a binary search per candidate page (cracking it first if needed).
+    pub fn get(&mut self, key: K) -> Option<V> {
+        self.stats.probes += 1;
+        if !self.global_bloom.may_contain(&key) {
+            self.stats.global_bloom_rejects += 1;
+            return None;
+        }
+        let mut hit: Option<V> = None;
+        for page in self.pages.iter_mut().rev() {
+            let candidate =
+                page.zone.is_some_and(|z| z.covers(key)) && page.bloom.may_contain(&key);
+            if !candidate {
+                continue;
+            }
+            if !page.sorted {
+                self.stats.pages_cracked += 1;
+                page.ensure_sorted();
+            }
+            let idx = page.entries.partition_point(|e| e.0 < key);
+            if idx < page.entries.len() && page.entries[idx].0 == key {
+                hit = Some(page.entries[idx].1.clone());
+                break;
+            }
+        }
+        hit
+    }
+
+    /// All buffered entries in `[start, end)` (cracks overlapping pages).
+    pub fn range(&mut self, start: K, end: K) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        for page in &mut self.pages {
+            if !page.zone.is_some_and(|z| z.overlaps(start, end)) {
+                continue;
+            }
+            if !page.sorted {
+                self.stats.pages_cracked += 1;
+                page.ensure_sorted();
+            }
+            let lo = page.entries.partition_point(|e| e.0 < start);
+            let hi = page.entries.partition_point(|e| e.0 < end);
+            out.extend(page.entries[lo..hi].iter().cloned());
+        }
+        out.sort_by_key(|a| a.0);
+        out
+    }
+
+    /// Removes one buffered entry with `key`, if present.
+    pub fn remove(&mut self, key: K) -> Option<V> {
+        for page in self.pages.iter_mut().rev() {
+            if !page.zone.is_some_and(|z| z.covers(key)) {
+                continue;
+            }
+            if let Some(i) = page.entries.iter().position(|e| e.0 == key) {
+                let (_, v) = page.entries.remove(i);
+                self.len -= 1;
+                // Zonemap stays a (now possibly loose) over-approximation;
+                // Blooms are rebuilt wholesale at the next flush.
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Drains the smallest `count` entries in sorted order, leaving the rest
+    /// buffered, and re-calibrates every Bloom filter (the per-flush cost §2
+    /// describes). Returns the drained run.
+    pub fn drain_smallest(&mut self, count: usize) -> Vec<(K, V)> {
+        let mut all: Vec<(K, V)> = self
+            .pages
+            .drain(..)
+            .flat_map(|p| p.entries.into_iter())
+            .collect();
+        all.sort_by_key(|a| a.0);
+        let count = count.min(all.len());
+        let keep = all.split_off(count);
+        // Rebuild pages and filters from the retained suffix.
+        self.len = 0;
+        self.global_bloom.clear();
+        self.last_key = None;
+        for (k, v) in keep {
+            self.global_bloom.insert(&k);
+            self.last_key = Some(self.last_key.map_or(k, |l: K| l.max(k)));
+            self.len += 1;
+            self.push_tail(k, v);
+        }
+        all
+    }
+
+    /// Bytes of buffer storage including filters and Zonemaps.
+    pub fn size_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<(K, V)>();
+        let per_page: usize = self
+            .pages
+            .iter()
+            .map(|p| {
+                p.entries.capacity() * entry + p.bloom.size_bytes() + std::mem::size_of::<Zone<K>>()
+            })
+            .sum();
+        per_page + self.global_bloom.size_bytes()
+    }
+
+    /// Buffer behaviour counters.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf() -> SwareBuffer<u64, u64> {
+        SwareBuffer::new(64, 8, 10)
+    }
+
+    #[test]
+    fn in_order_appends_fill_tail_pages() {
+        let mut b = buf();
+        for k in 0..20u64 {
+            b.insert(k, k);
+        }
+        assert_eq!(b.len(), 20);
+        assert_eq!(b.stats().tail_appends, 20);
+        assert_eq!(b.stats().zonemap_scans, 0);
+        for k in 0..20u64 {
+            assert_eq!(b.get(k), Some(k));
+        }
+        assert_eq!(b.get(99), None);
+    }
+
+    #[test]
+    fn out_of_order_pays_zonemap_scan() {
+        let mut b = buf();
+        for k in [10u64, 20, 30, 5, 25] {
+            b.insert(k, k);
+        }
+        assert!(b.stats().zonemap_scans >= 2);
+        assert_eq!(b.get(5), Some(5));
+        assert_eq!(b.get(25), Some(25));
+    }
+
+    #[test]
+    fn queries_crack_pages_once() {
+        let mut b = buf();
+        for k in [10u64, 5, 30, 2, 25, 1, 7, 8] {
+            b.insert(k, k);
+        }
+        let _ = b.get(5);
+        let cracked = b.stats().pages_cracked;
+        assert!(cracked >= 1);
+        let _ = b.get(7);
+        assert_eq!(b.stats().pages_cracked, cracked, "page must stay sorted");
+    }
+
+    #[test]
+    fn drain_smallest_returns_sorted_prefix() {
+        let mut b = buf();
+        for k in [5u64, 3, 9, 1, 7, 2, 8, 4] {
+            b.insert(k, k * 10);
+        }
+        let drained = b.drain_smallest(5);
+        assert_eq!(
+            drained.iter().map(|e| e.0).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5]
+        );
+        assert_eq!(b.len(), 3);
+        // Retained entries still findable; drained ones not.
+        assert_eq!(b.get(7), Some(70));
+        assert_eq!(b.get(1), None);
+    }
+
+    #[test]
+    fn range_crosses_pages() {
+        let mut b = buf();
+        for k in 0..32u64 {
+            b.insert(k, k);
+        }
+        let r = b.range(10, 20);
+        assert_eq!(r.len(), 10);
+        assert_eq!(r[0].0, 10);
+        assert_eq!(r[9].0, 19);
+    }
+
+    #[test]
+    fn remove_buffered_entry() {
+        let mut b = buf();
+        b.insert(5, 50);
+        b.insert(6, 60);
+        assert_eq!(b.remove(5), Some(50));
+        assert_eq!(b.remove(5), None);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.get(6), Some(60));
+    }
+
+    #[test]
+    fn global_bloom_rejects_absent_keys_cheaply() {
+        let mut b = buf();
+        for k in 0..32u64 {
+            b.insert(k * 2, k);
+        }
+        for k in 1000..1100u64 {
+            let _ = b.get(k);
+        }
+        assert!(b.stats().global_bloom_rejects > 90);
+    }
+
+    #[test]
+    fn zone_predicates() {
+        let z = Zone {
+            min: 10u64,
+            max: 20,
+        };
+        assert!(z.covers(10) && z.covers(20) && !z.covers(21));
+        assert!(z.overlaps(0, 11) && z.overlaps(20, 30) && !z.overlaps(21, 30));
+        assert!(!z.overlaps(0, 10));
+    }
+}

@@ -1,0 +1,331 @@
+//! The SA-B+-tree: SWARE's buffered sortedness-aware index (paper §2 and
+//! §5.4). Inserts land in the [`SwareBuffer`]; when it fills, the smallest
+//! portion is drained in sorted order and *opportunistically bulk loaded* —
+//! the run that extends past the tree's maximum is appended leaf-by-leaf,
+//! anything overlapping existing data is top-inserted. Queries probe the
+//! buffer first (the read penalty §2 quantifies), then the tree.
+
+use crate::buffer::{BufferStats, SwareBuffer};
+use quit_core::{BpTree, FastPathMode, Key, TreeConfig};
+use std::hash::Hash;
+
+/// Configuration of the SA-B+-tree.
+#[derive(Debug, Clone)]
+pub struct SwareConfig {
+    /// Buffer capacity in entries (paper default: 1% of total data size).
+    pub buffer_capacity: usize,
+    /// Entries per buffer page (matches the tree's 4 KB leaves by default).
+    pub page_capacity: usize,
+    /// Fraction of the buffer drained per flush, from the smallest keys.
+    /// High values amortize the flush sort best; the retained tail keeps
+    /// absorbing late arrivals.
+    pub flush_fraction: f64,
+    /// Bloom filter budget.
+    pub bloom_bits_per_key: usize,
+    /// Geometry of the underlying B+-tree.
+    pub tree_config: TreeConfig,
+}
+
+impl SwareConfig {
+    /// Paper-style defaults for a dataset of `n` entries: a buffer of
+    /// `n/100` entries (min one page), 510-entry pages, half-buffer flushes.
+    pub fn for_data_size(n: usize) -> Self {
+        let tree_config = TreeConfig::paper_default();
+        let page = tree_config.leaf_capacity;
+        SwareConfig {
+            buffer_capacity: (n / 100).max(page),
+            page_capacity: page,
+            flush_fraction: 0.9,
+            bloom_bits_per_key: 10,
+            tree_config,
+        }
+    }
+
+    /// Small geometry for tests.
+    pub fn small(buffer_capacity: usize, leaf_capacity: usize) -> Self {
+        SwareConfig {
+            buffer_capacity,
+            page_capacity: leaf_capacity,
+            flush_fraction: 0.5,
+            bloom_bits_per_key: 10,
+            tree_config: TreeConfig::small(leaf_capacity),
+        }
+    }
+}
+
+/// Flush/ingest counters for the harness.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SwareStats {
+    /// Buffer flushes performed.
+    pub flushes: u64,
+    /// Entries bulk-appended past the tree's maximum.
+    pub bulk_loaded: u64,
+    /// Entries that overlapped the tree and were top-inserted on flush.
+    pub flush_top_inserts: u64,
+    /// Point lookups answered from the buffer.
+    pub buffer_hits: u64,
+    /// Point lookups that fell through to the tree.
+    pub tree_lookups: u64,
+}
+
+/// A sortedness-aware B+-tree following the SWARE paradigm.
+#[derive(Debug)]
+pub struct SaBpTree<K, V> {
+    tree: BpTree<K, V>,
+    buffer: SwareBuffer<K, V>,
+    config: SwareConfig,
+    stats: SwareStats,
+}
+
+impl<K: Key + Hash, V: Clone> SaBpTree<K, V> {
+    /// An empty SA-B+-tree. The underlying index is the same classical
+    /// B+-tree platform used by every other variant (§5.4 note).
+    pub fn new(config: SwareConfig) -> Self {
+        assert!(
+            config.flush_fraction > 0.0 && config.flush_fraction <= 1.0,
+            "flush fraction must be in (0, 1]"
+        );
+        SaBpTree {
+            tree: BpTree::with_config(FastPathMode::None, config.tree_config.clone()),
+            buffer: SwareBuffer::new(
+                config.buffer_capacity,
+                config.page_capacity,
+                config.bloom_bits_per_key,
+            ),
+            config,
+            stats: SwareStats::default(),
+        }
+    }
+
+    /// Total entries (buffered + indexed).
+    pub fn len(&self) -> usize {
+        self.tree.len() + self.buffer.len()
+    }
+
+    /// True when the index holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts an entry, flushing the buffer first if it is full.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.buffer.is_full() {
+            self.flush();
+        }
+        self.buffer.insert(key, value);
+    }
+
+    /// Drains the smallest `flush_fraction` of the buffer and
+    /// opportunistically bulk loads it: the sorted run streams into the tree
+    /// with one traversal per target leaf instead of one per entry.
+    pub fn flush(&mut self) {
+        let count =
+            ((self.buffer.len() as f64 * self.config.flush_fraction).ceil() as usize).max(1);
+        let run = self.buffer.drain_smallest(count);
+        if run.is_empty() {
+            return;
+        }
+        self.stats.flushes += 1;
+        let descents = self.tree.bulk_insert_run(&run);
+        // Entries that shared a traversal are the bulk-loaded ones; each
+        // extra descent is equivalent to one top-insert.
+        self.stats.flush_top_inserts += descents as u64;
+        self.stats.bulk_loaded += (run.len() - descents.min(run.len())) as u64;
+    }
+
+    /// Flushes everything (e.g. at the end of an ingest phase).
+    pub fn flush_all(&mut self) {
+        while !self.buffer.is_empty() {
+            self.flush();
+        }
+    }
+
+    /// Point lookup: buffer first (Blooms + Zonemaps + cracked pages), then
+    /// the underlying tree.
+    pub fn get(&mut self, key: K) -> Option<V> {
+        if let Some(v) = self.buffer.get(key) {
+            self.stats.buffer_hits += 1;
+            return Some(v);
+        }
+        self.stats.tree_lookups += 1;
+        self.tree.get(key).cloned()
+    }
+
+    /// True when at least one entry with `key` exists.
+    pub fn contains_key(&mut self, key: K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Range lookup over `[start, end)`: merges tree and buffer results.
+    pub fn range(&mut self, start: K, end: K) -> Vec<(K, V)> {
+        let mut out = self.tree.range(start, end).entries;
+        let buffered = self.buffer.range(start, end);
+        if !buffered.is_empty() {
+            out.extend(buffered);
+            out.sort_by_key(|a| a.0);
+        }
+        out
+    }
+
+    /// Deletes one entry with `key` (buffer first, then tree).
+    pub fn delete(&mut self, key: K) -> Option<V> {
+        if let Some(v) = self.buffer.remove(key) {
+            return Some(v);
+        }
+        self.tree.delete(key)
+    }
+
+    /// SWARE-level counters.
+    pub fn stats(&self) -> SwareStats {
+        self.stats
+    }
+
+    /// Buffer-level counters.
+    pub fn buffer_stats(&self) -> BufferStats {
+        self.buffer.stats()
+    }
+
+    /// The underlying B+-tree (e.g. for invariant checks in tests).
+    pub fn tree(&self) -> &BpTree<K, V> {
+        &self.tree
+    }
+
+    /// Total memory footprint: paged tree bytes plus buffer, filters, and
+    /// Zonemaps (the paper's "more than 10 GB per TB" point).
+    pub fn memory_bytes(&self) -> usize {
+        self.tree.memory_report().paged_bytes + self.buffer.size_bytes()
+    }
+
+    /// Entries currently waiting in the buffer.
+    pub fn buffered_len(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sa(buffer: usize, leaf: usize) -> SaBpTree<u64, u64> {
+        SaBpTree::new(SwareConfig::small(buffer, leaf))
+    }
+
+    #[test]
+    fn sorted_ingest_bulk_loads() {
+        let mut t = sa(64, 8);
+        for k in 0..1000u64 {
+            t.insert(k, k);
+        }
+        t.flush_all();
+        assert_eq!(t.len(), 1000);
+        let s = t.stats();
+        assert!(s.flushes > 0);
+        assert!(
+            s.bulk_loaded > s.flush_top_inserts * 10,
+            "sorted data should almost entirely bulk-load: {s:?}"
+        );
+        t.tree().check_invariants().unwrap();
+        for k in (0..1000).step_by(83) {
+            assert_eq!(t.get(k), Some(k));
+        }
+    }
+
+    #[test]
+    fn near_sorted_ingest_mostly_bulk_loads() {
+        let keys = bods::BodsSpec::new(5000, 0.05, 1.0).generate();
+        let mut t = sa(64, 8);
+        for &k in &keys {
+            t.insert(k, k);
+        }
+        t.flush_all();
+        let s = t.stats();
+        assert!(
+            s.bulk_loaded as f64 / (s.bulk_loaded + s.flush_top_inserts) as f64 > 0.7,
+            "{s:?}"
+        );
+        t.tree().check_invariants().unwrap();
+        for k in 0..5000 {
+            assert!(t.contains_key(k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn scrambled_ingest_still_correct() {
+        let keys = bods::BodsSpec::new(3000, 1.0, 1.0).generate();
+        let mut t = sa(128, 8);
+        for &k in &keys {
+            t.insert(k, k * 2);
+        }
+        t.flush_all();
+        t.tree().check_invariants().unwrap();
+        for k in 0..3000 {
+            assert_eq!(t.get(k), Some(k * 2), "key {k}");
+        }
+    }
+
+    #[test]
+    fn queries_hit_buffer_before_flush() {
+        let mut t = sa(64, 8);
+        for k in 0..32u64 {
+            t.insert(k, k + 100);
+        }
+        assert_eq!(t.buffered_len(), 32);
+        assert_eq!(t.get(10), Some(110));
+        assert_eq!(t.stats().buffer_hits, 1);
+        assert_eq!(t.stats().tree_lookups, 0);
+    }
+
+    #[test]
+    fn range_merges_buffer_and_tree() {
+        let mut t = sa(64, 8);
+        for k in 0..200u64 {
+            t.insert(k, k);
+        }
+        // Some data flushed, some still buffered.
+        assert!(t.buffered_len() > 0);
+        assert!(!t.tree().is_empty());
+        let r = t.range(50, 150);
+        assert_eq!(r.len(), 100);
+        assert!(r.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn delete_from_buffer_and_tree() {
+        let mut t = sa(64, 8);
+        for k in 0..200u64 {
+            t.insert(k, k);
+        }
+        // Key 0 was flushed to the tree; key 199 is still buffered.
+        assert_eq!(t.delete(199), Some(199));
+        assert_eq!(t.delete(0), Some(0));
+        assert_eq!(t.get(199), None);
+        assert_eq!(t.get(0), None);
+        assert_eq!(t.len(), 198);
+    }
+
+    #[test]
+    fn memory_accounting_includes_buffer() {
+        let mut t = sa(512, 8);
+        for k in 0..400u64 {
+            t.insert(k, k);
+        }
+        let with_buffer = t.memory_bytes();
+        assert!(with_buffer > t.tree().memory_report().paged_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "flush fraction")]
+    fn rejects_zero_flush_fraction() {
+        let mut c = SwareConfig::small(64, 8);
+        c.flush_fraction = 0.0;
+        let _: SaBpTree<u64, u64> = SaBpTree::new(c);
+    }
+
+    #[test]
+    fn buffer_capacity_scales_with_data_size() {
+        let c = SwareConfig::for_data_size(500_000_000);
+        assert_eq!(c.buffer_capacity, 5_000_000); // 1% of 500M
+        let tiny = SwareConfig::for_data_size(100);
+        assert_eq!(tiny.buffer_capacity, 510); // at least one page
+    }
+}

@@ -1,0 +1,86 @@
+//! Snapshot persistence and cursor navigation: save an index, restore it
+//! with packed leaves, and serve paginated scans — the integration surface
+//! a storage engine builds on.
+//!
+//! ```sh
+//! cargo run --release --example persistence_and_cursors
+//! ```
+
+use quick_insertion_tree::bods::BodsSpec;
+use quick_insertion_tree::quit_core::BpTree;
+
+fn main() {
+    // Ingest a near-sorted event stream.
+    let keys = BodsSpec::new(300_000, 0.03, 1.0).with_seed(11).generate();
+    let mut live: BpTree<u64, u64> = BpTree::quit();
+    for (seq, &k) in keys.iter().enumerate() {
+        live.insert(k, seq as u64);
+    }
+    let occ_live = live.memory_report().avg_leaf_occupancy;
+    println!(
+        "live index: {} entries, {:.0}% leaf occupancy, {:.1}% fast-path",
+        live.len(),
+        occ_live * 100.0,
+        live.stats().fast_insert_fraction() * 100.0
+    );
+
+    // Checkpoint: capture the logical state. (With `--features serde` on
+    // quit-core, TreeSnapshot serializes with any serde format.)
+    let snapshot = live.to_snapshot();
+    println!("snapshot captured: {} entries", snapshot.len());
+
+    // Restore with 10% headroom per leaf so post-restore inserts don't
+    // immediately cascade splits (the §5.2.1 tuning note, applied offline).
+    let mut restored = snapshot.restore_with_fill(0.9);
+    println!(
+        "restored index: {:.0}% leaf occupancy, {} nodes (live had {})",
+        restored.memory_report().avg_leaf_occupancy * 100.0,
+        restored.node_count(),
+        live.node_count()
+    );
+    restored
+        .check_invariants()
+        .expect("restored index is sound");
+
+    // Cursor pagination: serve the scan in pages of 50, resuming from the
+    // last key seen — the classic "seek + limit" executor pattern.
+    let mut after = 120_000u64;
+    for page_no in 0..3 {
+        let mut cursor = restored.cursor_at(after + 1);
+        let page: Vec<u64> = std::iter::from_fn(|| cursor.next().map(|e| e.0))
+            .take(50)
+            .collect();
+        println!(
+            "page {page_no}: {} keys, {:?} ..= {:?}",
+            page.len(),
+            page.first(),
+            page.last()
+        );
+        match page.last() {
+            Some(&last) => after = last,
+            None => break,
+        }
+    }
+
+    // Reverse scan: the 5 largest keys under a bound.
+    let mut cursor = restored.cursor_at(200_000);
+    let mut newest: Vec<u64> = Vec::new();
+    cursor.prev(); // step off the bound itself
+    while newest.len() < 5 {
+        match cursor.prev() {
+            Some((k, _)) => newest.push(k),
+            None => break,
+        }
+    }
+    println!("5 largest keys below 200000: {newest:?}");
+
+    // The restored index ingests new data through the fast path at once.
+    restored.stats().reset();
+    for k in 300_000..310_000u64 {
+        restored.insert(k, k);
+    }
+    println!(
+        "post-restore ingest: {:.1}% fast-path",
+        restored.stats().fast_insert_fraction() * 100.0
+    );
+}

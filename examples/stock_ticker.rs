@@ -1,0 +1,71 @@
+//! Index an intraday stock-price stream (the paper's Fig 15 scenario):
+//! closing prices trend upward — implicit near-sortedness that QuIT turns
+//! into fast-path inserts — then answer price-band queries.
+//!
+//! ```sh
+//! cargo run --release --example stock_ticker
+//! ```
+
+use quick_insertion_tree::bods::{adjacent_inversion_fraction, StockSpec};
+use quick_insertion_tree::quit_core::{BpTree, TreeConfig, Variant};
+use std::time::Instant;
+
+fn main() {
+    // Synthetic NIFTY-like series: one-minute bars, upward drift,
+    // volatility clustering. Keys are price ticks (price × 100).
+    let ticks = StockSpec::nifty().scaled(300_000).generate_ticks();
+    println!(
+        "stream: {} bars, first {} last {}, {:.1}% adjacent inversions",
+        ticks.len(),
+        ticks[0],
+        ticks[ticks.len() - 1],
+        adjacent_inversion_fraction(&ticks) * 100.0
+    );
+
+    // Index price -> bar number, so "when did we trade in this band?"
+    // becomes a range scan.
+    let mut by_price: BpTree<u64, u32> = BpTree::quit();
+    let start = Instant::now();
+    for (bar, &price) in ticks.iter().enumerate() {
+        by_price.insert(price, bar as u32);
+    }
+    let quit_time = start.elapsed();
+    println!(
+        "QuIT ingest: {:.0?} ({:.1}% fast-path)",
+        quit_time,
+        by_price.stats().fast_insert_fraction() * 100.0
+    );
+
+    let mut classic: BpTree<u64, u32> = Variant::Classic.build(TreeConfig::paper_default());
+    let start = Instant::now();
+    for (bar, &price) in ticks.iter().enumerate() {
+        classic.insert(price, bar as u32);
+    }
+    let classic_time = start.elapsed();
+    println!(
+        "B+-tree ingest: {:.0?} — QuIT speedup {:.2}x",
+        classic_time,
+        classic_time.as_secs_f64() / quit_time.as_secs_f64()
+    );
+
+    // Price-band query: all bars where the instrument traded in
+    // [p25, p75) of its final price.
+    let last = *ticks.last().expect("non-empty");
+    let (lo, hi) = (last / 4, last * 3 / 4);
+    let band = by_price.range(lo, hi);
+    println!(
+        "bars traded in [{:.2}, {:.2}): {} ({} leaf accesses)",
+        lo as f64 / 100.0,
+        hi as f64 / 100.0,
+        band.entries.len(),
+        band.leaf_accesses
+    );
+
+    // Duplicates are first-class: the same price usually occurs many times.
+    let modal_price = band.entries.first().map(|e| e.0).unwrap_or(last);
+    println!(
+        "price {:.2} occurred {} times",
+        modal_price as f64 / 100.0,
+        by_price.get_all(modal_price).len()
+    );
+}

@@ -1,0 +1,17 @@
+//! # quick-insertion-tree — workspace façade
+//!
+//! Re-exports the reproduction's crates under one roof so the examples and
+//! cross-crate integration tests have a single dependency:
+//!
+//! * [`quit_core`] — the Quick Insertion Tree and its B+-tree platform
+//!   (classical / tail / ℓiℓ / poℓe variants, Table 1 metadata, IKR).
+//! * [`quit_concurrent`] — the lock-crabbing concurrent tree (§4.5).
+//! * [`sware`] — the SWARE SA-B+-tree baseline.
+//! * [`bods`] — K–L-sortedness workload generation and measurement.
+
+#![warn(missing_docs)]
+
+pub use bods;
+pub use quit_concurrent;
+pub use quit_core;
+pub use sware;

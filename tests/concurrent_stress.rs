@@ -1,0 +1,153 @@
+//! Concurrency stress tests for `quit-concurrent`: mixed reader/writer
+//! loads, fast-path contention, and final-state verification against a
+//! single-threaded reference.
+
+use quick_insertion_tree::bods::BodsSpec;
+use quick_insertion_tree::quit_concurrent::{ConcConfig, ConcurrentTree};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn heavy_mixed_load_ends_consistent() {
+    let tree: Arc<ConcurrentTree<u64, u64>> =
+        Arc::new(ConcurrentTree::new(ConcConfig::small(16, true)));
+    let writers = 6;
+    let per = 5_000u64;
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for w in 0..writers {
+        let tree = tree.clone();
+        handles.push(std::thread::spawn(move || {
+            // Each writer ingests a near-sorted stream over its own range.
+            let keys = BodsSpec::new(per as usize, 0.05, 1.0)
+                .with_seed(w)
+                .generate();
+            let base = w * 10_000_000;
+            for k in keys {
+                tree.insert(base + k, w);
+            }
+        }));
+    }
+    let mut readers = Vec::new();
+    for _ in 0..3 {
+        let tree = tree.clone();
+        let stop = stop.clone();
+        readers.push(std::thread::spawn(move || {
+            let mut observed_max = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let r = tree.range(0, u64::MAX);
+                // Snapshot must always be sorted even mid-ingest.
+                assert!(r.windows(2).all(|a| a[0].0 <= a[1].0), "unsorted scan");
+                assert!(r.len() >= observed_max, "scan shrank");
+                observed_max = r.len();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+
+    assert_eq!(tree.len(), (writers * per) as usize);
+    let all = tree.collect_all();
+    assert_eq!(all.len(), tree.len());
+    // Every writer's keys are present exactly once.
+    let uniq: BTreeSet<u64> = all.iter().map(|e| e.0).collect();
+    assert_eq!(uniq.len(), all.len(), "no duplicates were inserted");
+    for w in 0..writers {
+        let base = w * 10_000_000;
+        let count = all.iter().filter(|e| e.0 / 10_000_000 == w).count();
+        assert_eq!(count, per as usize, "writer {w} keys");
+        assert!(tree.contains_key(base)); // key 0 of each writer's stream
+    }
+}
+
+#[test]
+fn contended_tail_inserts_keep_every_entry() {
+    // All threads append to the same hot tail — the worst case §5.3 calls
+    // out. Correctness must hold even when the fast path constantly
+    // collides.
+    let tree: Arc<ConcurrentTree<u64, u64>> =
+        Arc::new(ConcurrentTree::new(ConcConfig::small(8, true)));
+    let threads = 8u64;
+    let per = 4_000u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let tree = tree.clone();
+            s.spawn(move || {
+                for i in 0..per {
+                    // Interleaved, globally near-sorted keys.
+                    tree.insert(i * threads + t, t);
+                }
+            });
+        }
+    });
+    assert_eq!(tree.len(), (threads * per) as usize);
+    let all = tree.collect_all();
+    assert!(all.windows(2).all(|a| a[0].0 <= a[1].0));
+    assert_eq!(all.len(), (threads * per) as usize);
+    // Every key in 0..threads*per is present exactly once.
+    for (i, (k, _)) in all.iter().enumerate() {
+        assert_eq!(*k, i as u64, "dense key space must be complete");
+    }
+}
+
+#[test]
+fn classic_and_quit_modes_agree_under_concurrency() {
+    let keys = BodsSpec::new(30_000, 0.25, 1.0).generate();
+    let results: Vec<Vec<(u64, u64)>> = [true, false]
+        .into_iter()
+        .map(|pole| {
+            let tree: Arc<ConcurrentTree<u64, u64>> =
+                Arc::new(ConcurrentTree::new(ConcConfig::small(32, pole)));
+            std::thread::scope(|s| {
+                for t in 0..4 {
+                    let tree = tree.clone();
+                    let mine: Vec<u64> = keys.iter().skip(t).step_by(4).copied().collect();
+                    s.spawn(move || {
+                        for k in mine {
+                            tree.insert(k, k * 2);
+                        }
+                    });
+                }
+            });
+            tree.collect_all()
+        })
+        .collect();
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[0].len(), keys.len());
+}
+
+#[test]
+fn point_reads_never_miss_committed_keys() {
+    let tree: Arc<ConcurrentTree<u64, u64>> = Arc::new(ConcurrentTree::quit());
+    for k in 0..5_000u64 {
+        tree.insert(k * 2, k);
+    }
+    std::thread::scope(|s| {
+        // A writer extends the key space while readers hammer the stable
+        // prefix.
+        let t = tree.clone();
+        s.spawn(move || {
+            for k in 5_000..20_000u64 {
+                t.insert(k * 2, k);
+            }
+        });
+        for _ in 0..4 {
+            let t = tree.clone();
+            s.spawn(move || {
+                for _ in 0..20 {
+                    for k in (0..5_000u64).step_by(37) {
+                        assert_eq!(t.get(k * 2), Some(k));
+                        assert_eq!(t.get(k * 2 + 1), None);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(tree.len(), 20_000);
+}

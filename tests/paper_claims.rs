@@ -1,0 +1,177 @@
+//! Executable checks of the paper's headline claims, at reduced scale.
+//! These assert *shape* (who wins, direction of effects), not absolute
+//! numbers — the quantitative side lives in the `quit-bench` binaries.
+
+use quick_insertion_tree::bods::{point_lookup_keys, BodsSpec};
+use quick_insertion_tree::quit_core::{TreeConfig, Variant};
+use quick_insertion_tree::sware::{SaBpTree, SwareConfig};
+
+fn build(v: Variant, keys: &[u64]) -> quick_insertion_tree::quit_core::BpTree<u64, u64> {
+    let mut t = v.build::<u64, u64>(TreeConfig::paper_default());
+    for (i, &k) in keys.iter().enumerate() {
+        t.insert(k, i as u64);
+    }
+    t
+}
+
+/// §2 / Fig 3: the tail fast path collapses once data is slightly unsorted.
+#[test]
+fn tail_collapses_at_one_percent_disorder() {
+    // The collapse sharpens with scale (out-of-order entries per leaf);
+    // 1M entries at K=1% is already ~20 leaves' worth of outliers.
+    let n = 1_000_000;
+    let sorted = build(Variant::Tail, &BodsSpec::new(n, 0.0, 1.0).generate());
+    assert!(sorted.stats().fast_insert_fraction() > 0.999);
+    let near = build(Variant::Tail, &BodsSpec::new(n, 0.01, 1.0).generate());
+    assert!(
+        near.stats().fast_insert_fraction() < 0.10,
+        "tail should be ~useless at K=1%, got {:.3}",
+        near.stats().fast_insert_fraction()
+    );
+}
+
+/// §3 / Eq 1: ℓiℓ fast-inserts track (1−k)² within a few points.
+#[test]
+fn lil_matches_analytic_model() {
+    let n = 200_000;
+    for k in [0.01, 0.05, 0.25, 0.50] {
+        let t = build(Variant::Lil, &BodsSpec::new(n, k, 1.0).generate());
+        let measured = t.stats().fast_insert_fraction();
+        let model = (1.0 - k) * (1.0 - k);
+        assert!(
+            (measured - model).abs() < 0.05,
+            "K={k}: measured {measured:.3} vs model {model:.3}"
+        );
+    }
+}
+
+/// §4 / Fig 9: QuIT approaches the ideal (one top-insert per out-of-order
+/// entry) and beats ℓiℓ when data is less sorted.
+#[test]
+fn quit_beats_lil_at_low_sortedness() {
+    let n = 200_000;
+    for k in [0.25, 0.50] {
+        let keys = BodsSpec::new(n, k, 1.0).generate();
+        let lil = build(Variant::Lil, &keys);
+        let quit = build(Variant::Quit, &keys);
+        assert!(
+            quit.stats().fast_insert_fraction() > lil.stats().fast_insert_fraction() + 0.05,
+            "K={k}: QuIT {:.3} vs lil {:.3}",
+            quit.stats().fast_insert_fraction(),
+            lil.stats().fast_insert_fraction()
+        );
+    }
+}
+
+/// §4.3 / Table 2: ~2× space reduction on fully sorted data; parity on
+/// scrambled data.
+#[test]
+fn quit_space_reduction() {
+    let n = 300_000;
+    let sorted = BodsSpec::new(n, 0.0, 1.0).generate();
+    let classic = build(Variant::Classic, &sorted);
+    let quit = build(Variant::Quit, &sorted);
+    let ratio =
+        classic.memory_report().paged_bytes as f64 / quit.memory_report().paged_bytes as f64;
+    assert!(
+        ratio > 1.8,
+        "sorted-space reduction {ratio:.2} (paper: 1.96x)"
+    );
+
+    let scrambled = BodsSpec::new(n, 1.0, 1.0).generate();
+    let classic = build(Variant::Classic, &scrambled);
+    let quit = build(Variant::Quit, &scrambled);
+    let ratio =
+        classic.memory_report().paged_bytes as f64 / quit.memory_report().paged_bytes as f64;
+    assert!(
+        (0.85..1.15).contains(&ratio),
+        "scrambled-space ratio {ratio:.2} (paper: ~1x)"
+    );
+}
+
+/// §5.1 / Fig 10c: range scans touch fewer leaves in QuIT on near-sorted
+/// ingests.
+#[test]
+fn quit_ranges_touch_fewer_leaves() {
+    let n = 300_000;
+    let keys = BodsSpec::new(n, 0.05, 1.0).generate();
+    let classic = build(Variant::Classic, &keys);
+    let quit = build(Variant::Quit, &keys);
+    let mut leaf_c = 0u64;
+    let mut leaf_q = 0u64;
+    for start in (0..n as u64 - 3000).step_by(n / 50) {
+        let rc = classic.range(start, start + 3000);
+        let rq = quit.range(start, start + 3000);
+        assert_eq!(rc.entries.len(), rq.entries.len());
+        leaf_c += rc.leaf_accesses;
+        leaf_q += rq.leaf_accesses;
+    }
+    // The paper reports up to 2x (1.3x average) at its occupancy gap; the
+    // gap narrows at reduced N, so assert the direction with headroom.
+    assert!(
+        leaf_c as f64 / leaf_q as f64 > 1.10,
+        "classic {leaf_c} vs quit {leaf_q}"
+    );
+}
+
+/// §5.4 / Fig 14b: SWARE pays a point-lookup penalty for its buffer; QuIT
+/// reads like a plain B+-tree (node accesses identical to classic).
+#[test]
+fn quit_has_no_read_penalty_but_sware_does() {
+    let n = 100_000;
+    let keys = BodsSpec::new(n, 0.05, 1.0).generate();
+    let classic = build(Variant::Classic, &keys);
+    let quit = build(Variant::Quit, &keys);
+    let probes = point_lookup_keys(n, 5_000, 3);
+
+    classic.stats().reset();
+    quit.stats().reset();
+    for &p in &probes {
+        assert!(classic.get(p).is_some());
+        assert!(quit.get(p).is_some());
+    }
+    let acc_c = classic.stats().lookup_node_accesses.get() as f64;
+    let acc_q = quit.stats().lookup_node_accesses.get() as f64;
+    // QuIT never touches more nodes than the classic tree (same height or
+    // lower thanks to tighter packing).
+    assert!(acc_q <= acc_c * 1.001, "classic {acc_c} vs quit {acc_q}");
+
+    // SWARE answers correctly but must do buffer work on top of the tree.
+    let mut sa: SaBpTree<u64, u64> = SaBpTree::new(SwareConfig::for_data_size(n));
+    for (i, &k) in keys.iter().enumerate() {
+        sa.insert(k, i as u64);
+    }
+    let mut buffered_hits = 0;
+    for &p in &probes {
+        assert!(sa.get(p).is_some(), "SWARE must find {p}");
+        buffered_hits = sa.stats().buffer_hits;
+    }
+    assert!(
+        buffered_hits > 0,
+        "with a 1% buffer some lookups must hit it"
+    );
+}
+
+/// §5.2.2 / Table 3: the fast-insert fraction is stable across data sizes.
+#[test]
+fn fast_insert_fraction_is_scale_invariant() {
+    let mut fractions = Vec::new();
+    for n in [50_000usize, 100_000, 200_000] {
+        let t = build(Variant::Quit, &BodsSpec::new(n, 0.05, 0.05).generate());
+        fractions.push(t.stats().fast_insert_fraction());
+    }
+    let (min, max) = (
+        fractions.iter().cloned().fold(f64::MAX, f64::min),
+        fractions.iter().cloned().fold(f64::MIN, f64::max),
+    );
+    assert!(max - min < 0.03, "fractions vary too much: {fractions:?}");
+}
+
+/// Table 1: QuIT's extra metadata stays under 20 bytes.
+#[test]
+fn metadata_budget() {
+    use quick_insertion_tree::quit_core::{FastPathMode, FastPathState};
+    let lil = FastPathState::<u32>::metadata_bytes(FastPathMode::Lil);
+    let pole = FastPathState::<u32>::metadata_bytes(FastPathMode::Pole);
+    assert!(pole - lil < 20);
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the bulk surface (bulk_load / append_sorted /
+//! bulk_insert_run / insert_batch / delete_range), snapshot persistence,
+//! and cursor navigation — each checked against straightforward models.
+
+use proptest::prelude::*;
+use quick_insertion_tree::quit_core::{BpTree, FastPathMode, TreeConfig, Variant};
+
+fn sorted_entries(keys: &mut [u64]) -> Vec<(u64, u64)> {
+    keys.sort_unstable();
+    keys.iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u64))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn bulk_load_equals_incremental(
+        mut keys in prop::collection::vec(0..10_000u64, 0..800),
+        fill_pct in 30u32..=100,
+        cap in 4usize..40,
+    ) {
+        let entries = sorted_entries(&mut keys);
+        let bulk: BpTree<u64, u64> = BpTree::bulk_load(
+            FastPathMode::Pole,
+            TreeConfig::small(cap),
+            entries.clone(),
+            fill_pct as f64 / 100.0,
+        );
+        let mut incr: BpTree<u64, u64> = Variant::Quit.build(TreeConfig::small(cap));
+        for &(k, v) in &entries {
+            incr.insert(k, v);
+        }
+        bulk.check_invariants().unwrap();
+        let a: Vec<u64> = bulk.iter().map(|e| e.0).collect();
+        let b: Vec<u64> = incr.iter().map(|e| e.0).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn append_sorted_equals_inserts(
+        mut base in prop::collection::vec(0..5_000u64, 1..400),
+        run_len in 0usize..300,
+    ) {
+        let entries = sorted_entries(&mut base);
+        let max = entries.last().map(|e| e.0).unwrap_or(0);
+        let run: Vec<(u64, u64)> = (0..run_len as u64).map(|i| (max + i, i)).collect();
+
+        let mut a: BpTree<u64, u64> =
+            BpTree::bulk_load(FastPathMode::Pole, TreeConfig::small(8), entries.clone(), 1.0);
+        a.append_sorted(run.clone());
+
+        let mut b: BpTree<u64, u64> = Variant::Quit.build(TreeConfig::small(8));
+        for (k, v) in entries.into_iter().chain(run) {
+            b.insert(k, v);
+        }
+        a.check_invariants().unwrap();
+        prop_assert_eq!(a.len(), b.len());
+        let ka: Vec<u64> = a.keys();
+        let kb: Vec<u64> = b.keys();
+        prop_assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn bulk_insert_run_equals_inserts(
+        mut base in prop::collection::vec(0..10_000u64, 0..500),
+        mut run in prop::collection::vec(0..10_000u64, 0..500),
+    ) {
+        let mut a: BpTree<u64, u64> = Variant::Quit.build(TreeConfig::small(8));
+        let mut b: BpTree<u64, u64> = Variant::Quit.build(TreeConfig::small(8));
+        base.sort_unstable();
+        for (i, &k) in base.iter().enumerate() {
+            a.insert(k, i as u64);
+            b.insert(k, i as u64);
+        }
+        run.sort_unstable();
+        let run_entries: Vec<(u64, u64)> = run.iter().map(|&k| (k, k)).collect();
+        a.bulk_insert_run(&run_entries);
+        for &(k, v) in &run_entries {
+            b.insert(k, v);
+        }
+        a.check_invariants().unwrap();
+        prop_assert_eq!(a.len(), b.len());
+        let ka: Vec<u64> = a.keys();
+        let kb: Vec<u64> = b.keys();
+        prop_assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn delete_range_equals_model(
+        keys in prop::collection::vec(0..2_000u64, 0..600),
+        start in 0..2_000u64,
+        width in 0..2_000u64,
+    ) {
+        let end = start.saturating_add(width);
+        let mut t: BpTree<u64, u64> = Variant::Quit.build(TreeConfig::small(6));
+        for &k in &keys {
+            t.insert(k, k);
+        }
+        let removed = t.delete_range(start, end);
+        let expected_removed = keys.iter().filter(|&&k| (start..end).contains(&k)).count();
+        prop_assert_eq!(removed, expected_removed);
+        let mut expect: Vec<u64> = keys
+            .iter()
+            .copied()
+            .filter(|k| !(start..end).contains(k))
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(t.keys(), expect);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_identity(
+        keys in prop::collection::vec(0..5_000u64, 0..600),
+        cap in 4usize..32,
+    ) {
+        let mut t: BpTree<u64, u64> = Variant::Quit.build(TreeConfig::small(cap));
+        for (i, &k) in keys.iter().enumerate() {
+            t.insert(k, i as u64);
+        }
+        let restored = BpTree::from_snapshot(t.to_snapshot());
+        restored.check_invariants().unwrap();
+        let a: Vec<(u64, u64)> = t.iter().map(|(k, v)| (k, *v)).collect();
+        let b: Vec<(u64, u64)> = restored.iter().map(|(k, v)| (k, *v)).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cursor_scan_equals_range(
+        keys in prop::collection::vec(0..1_000u64, 0..500),
+        start in 0..1_100u64,
+        width in 0..1_100u64,
+    ) {
+        let end = start.saturating_add(width);
+        let mut t: BpTree<u64, u64> = Variant::Quit.build(TreeConfig::small(6));
+        for &k in &keys {
+            t.insert(k, k);
+        }
+        let mut c = t.cursor_at(start);
+        let mut via_cursor = Vec::new();
+        while let Some((k, _)) = c.next() {
+            if k >= end {
+                break;
+            }
+            via_cursor.push(k);
+        }
+        let via_range: Vec<u64> = t.range(start, end).entries.iter().map(|e| e.0).collect();
+        prop_assert_eq!(via_cursor, via_range);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based differential testing: every index variant against a
+//! `BTreeMap<u64, Vec<u64>>` multiset model, over random operation
+//! sequences with duplicate keys, deletes, and range scans. Structural
+//! invariants are re-checked after every batch.
+
+use proptest::prelude::*;
+use quick_insertion_tree::quit_core::{TreeConfig, Variant};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Delete(u64),
+    Get(u64),
+    Range(u64, u64),
+}
+
+fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..key_space, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => (0..key_space).prop_map(Op::Delete),
+        1 => (0..key_space).prop_map(Op::Get),
+        1 => (0..key_space, 0..64u64).prop_map(|(s, w)| Op::Range(s, s + w)),
+    ]
+}
+
+/// A model that mirrors index semantics: a key maps to a multiset of
+/// values; delete removes one instance.
+#[derive(Default)]
+struct Model {
+    map: BTreeMap<u64, Vec<u64>>,
+    len: usize,
+}
+
+impl Model {
+    fn insert(&mut self, k: u64, v: u64) {
+        self.map.entry(k).or_default().push(v);
+        self.len += 1;
+    }
+    fn delete(&mut self, k: u64) -> bool {
+        if let Some(vs) = self.map.get_mut(&k) {
+            vs.pop();
+            if vs.is_empty() {
+                self.map.remove(&k);
+            }
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+    fn contains(&self, k: u64) -> bool {
+        self.map.contains_key(&k)
+    }
+    fn range_keys(&self, s: u64, e: u64) -> Vec<u64> {
+        self.map
+            .range(s..e)
+            .flat_map(|(k, vs)| std::iter::repeat_n(*k, vs.len()))
+            .collect()
+    }
+}
+
+fn run_ops(variant: Variant, leaf_cap: usize, ops: &[Op]) {
+    let mut tree = variant.build::<u64, u64>(TreeConfig::small(leaf_cap));
+    let mut model = Model::default();
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Insert(k, v) => {
+                tree.insert(k, v);
+                model.insert(k, v);
+            }
+            Op::Delete(k) => {
+                let t = tree.delete(k).is_some();
+                let m = model.delete(k);
+                assert_eq!(t, m, "op {i}: delete({k}) mismatch ({variant:?})");
+            }
+            Op::Get(k) => {
+                assert_eq!(
+                    tree.contains_key(k),
+                    model.contains(k),
+                    "op {i}: get({k}) mismatch ({variant:?})"
+                );
+            }
+            Op::Range(s, e) => {
+                let got: Vec<u64> = tree.range(s, e).entries.iter().map(|x| x.0).collect();
+                let want = model.range_keys(s, e);
+                assert_eq!(got, want, "op {i}: range({s},{e}) mismatch ({variant:?})");
+            }
+        }
+        if i % 64 == 0 {
+            tree.check_invariants()
+                .unwrap_or_else(|e| panic!("op {i} ({variant:?}): {e}"));
+        }
+    }
+    assert_eq!(tree.len(), model.len, "final length ({variant:?})");
+    tree.check_invariants().unwrap();
+    // Full-content comparison at the end.
+    let all: Vec<u64> = tree.iter().map(|(k, _)| k).collect();
+    let expect: Vec<u64> = model.range_keys(0, u64::MAX);
+    assert_eq!(all, expect, "final contents ({variant:?})");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn classic_matches_model(ops in prop::collection::vec(op_strategy(256), 1..600)) {
+        run_ops(Variant::Classic, 6, &ops);
+    }
+
+    #[test]
+    fn quit_matches_model(ops in prop::collection::vec(op_strategy(256), 1..600)) {
+        run_ops(Variant::Quit, 6, &ops);
+    }
+
+    #[test]
+    fn pole_only_matches_model(ops in prop::collection::vec(op_strategy(256), 1..600)) {
+        run_ops(Variant::PoleOnly, 6, &ops);
+    }
+
+    #[test]
+    fn lil_matches_model(ops in prop::collection::vec(op_strategy(256), 1..600)) {
+        run_ops(Variant::Lil, 6, &ops);
+    }
+
+    #[test]
+    fn tail_matches_model(ops in prop::collection::vec(op_strategy(256), 1..600)) {
+        run_ops(Variant::Tail, 6, &ops);
+    }
+
+    #[test]
+    fn quit_matches_model_with_bigger_leaves(
+        ops in prop::collection::vec(op_strategy(64), 1..400),
+        cap in 4usize..40,
+    ) {
+        run_ops(Variant::Quit, cap, &ops);
+    }
+
+    /// Sorted-ish streams with injected disorder, ingested then drained.
+    #[test]
+    fn quit_survives_ingest_then_drain(
+        k_milli in 0usize..500,
+        n in 200usize..1200,
+        seed in any::<u64>(),
+    ) {
+        let keys = quick_insertion_tree::bods::BodsSpec::new(n, k_milli as f64 / 1000.0, 1.0)
+            .with_seed(seed)
+            .generate();
+        let mut tree = Variant::Quit.build::<u64, u64>(TreeConfig::small(8));
+        for (i, &k) in keys.iter().enumerate() {
+            tree.insert(k, i as u64);
+        }
+        tree.check_invariants().unwrap();
+        for &k in &keys {
+            prop_assert!(tree.delete(k).is_some());
+        }
+        prop_assert!(tree.is_empty());
+        tree.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,125 @@
+//! End-to-end SWARE tests spanning `sware`, `bods`, and `quit-core`:
+//! correctness through flush cycles, interleaved reads and deletes, and the
+//! behavioural trade-offs the paper attributes to the design.
+
+use quick_insertion_tree::bods::BodsSpec;
+use quick_insertion_tree::sware::{SaBpTree, SwareConfig};
+
+#[test]
+fn interleaved_reads_during_ingest() {
+    let keys = BodsSpec::new(20_000, 0.05, 1.0).generate();
+    let mut sa: SaBpTree<u64, u64> = SaBpTree::new(SwareConfig::small(256, 16));
+    for (i, &k) in keys.iter().enumerate() {
+        sa.insert(k, i as u64);
+        if i % 100 == 99 {
+            // Read a key from long ago (tree) and one just written (buffer).
+            assert!(sa.get(keys[i / 2]).is_some(), "old key at step {i}");
+            assert!(sa.get(k).is_some(), "fresh key at step {i}");
+        }
+    }
+    sa.tree().check_invariants().unwrap();
+}
+
+#[test]
+fn deletes_interleaved_with_flushes() {
+    use std::collections::BTreeSet;
+    let mut sa: SaBpTree<u64, u64> = SaBpTree::new(SwareConfig::small(64, 8));
+    let mut live: BTreeSet<u64> = BTreeSet::new();
+    for k in 0..2000u64 {
+        sa.insert(k, k);
+        live.insert(k);
+        // Delete some keys while fresh (buffered) and some long after
+        // (likely flushed to the tree).
+        for target in [k, k.saturating_sub(100)] {
+            let should = (target % 7 == 6 || target % 11 == 10) && live.contains(&target);
+            if should {
+                assert_eq!(
+                    sa.delete(target),
+                    Some(target),
+                    "delete {target} at step {k}"
+                );
+                live.remove(&target);
+            }
+        }
+    }
+    sa.flush_all();
+    sa.tree().check_invariants().unwrap();
+    for k in 0..2000u64 {
+        assert_eq!(sa.get(k).is_some(), live.contains(&k), "key {k}");
+    }
+    assert_eq!(sa.len(), live.len());
+}
+
+#[test]
+fn flush_all_leaves_empty_buffer() {
+    let keys = BodsSpec::new(5_000, 0.10, 1.0).generate();
+    let mut sa: SaBpTree<u64, u64> = SaBpTree::new(SwareConfig::small(512, 16));
+    for &k in &keys {
+        sa.insert(k, k);
+    }
+    assert!(sa.buffered_len() > 0);
+    sa.flush_all();
+    assert_eq!(sa.buffered_len(), 0);
+    assert_eq!(sa.tree().len(), 5_000);
+    sa.tree().check_invariants().unwrap();
+}
+
+#[test]
+fn sortedness_improves_bulk_load_ratio() {
+    // The more sorted the stream, the larger the bulk-loaded share — the
+    // mechanism behind SWARE's Fig 14a advantage over a plain B+-tree.
+    let mut ratios = Vec::new();
+    for k in [0.0, 0.10, 1.0] {
+        let keys = BodsSpec::new(20_000, k, 1.0).generate();
+        let mut sa: SaBpTree<u64, u64> = SaBpTree::new(SwareConfig::small(512, 16));
+        for &key in &keys {
+            sa.insert(key, key);
+        }
+        sa.flush_all();
+        let s = sa.stats();
+        ratios.push(s.bulk_loaded as f64 / (s.bulk_loaded + s.flush_top_inserts) as f64);
+    }
+    assert!(ratios[0] > 0.99, "sorted: {ratios:?}");
+    assert!(
+        ratios[0] >= ratios[1] && ratios[1] > ratios[2],
+        "{ratios:?}"
+    );
+}
+
+#[test]
+fn buffer_cracking_pays_off_across_queries() {
+    let keys = BodsSpec::new(4_000, 0.50, 1.0).generate();
+    let mut sa: SaBpTree<u64, u64> = SaBpTree::new(SwareConfig::small(4096, 64));
+    for &k in &keys {
+        sa.insert(k, k);
+    }
+    // Everything is still buffered (capacity 4096 >= 4000).
+    assert_eq!(sa.buffered_len(), 4_000);
+    for k in (0..4000u64).step_by(13) {
+        assert_eq!(sa.get(k), Some(k));
+    }
+    let cracked_after_first_pass = sa.buffer_stats().pages_cracked;
+    for k in (0..4000u64).step_by(17) {
+        assert_eq!(sa.get(k), Some(k));
+    }
+    assert_eq!(
+        sa.buffer_stats().pages_cracked,
+        cracked_after_first_pass,
+        "second pass must reuse cracked pages"
+    );
+}
+
+#[test]
+fn duplicate_keys_survive_flush_cycles() {
+    let mut sa: SaBpTree<u64, u64> = SaBpTree::new(SwareConfig::small(64, 8));
+    for rep in 0..50u64 {
+        for k in 0..40u64 {
+            sa.insert(k, rep);
+        }
+    }
+    sa.flush_all();
+    assert_eq!(sa.len(), 2000);
+    let r = sa.range(10, 11);
+    assert_eq!(r.len(), 50, "all duplicates of key 10");
+    sa.tree().check_invariants().unwrap();
+}
