@@ -16,12 +16,9 @@ fn bench_concurrent(c: &mut Criterion) {
         for (name, pole) in [("QuIT", true), ("B+-tree", false)] {
             group.bench_with_input(BenchmarkId::new(name, threads), &keys, |b, keys| {
                 b.iter(|| {
-                    let tree: Arc<ConcurrentTree<u64, u64>> =
-                        Arc::new(ConcurrentTree::new(if pole {
-                            ConcConfig::quit()
-                        } else {
-                            ConcConfig::classic()
-                        }));
+                    let tree: Arc<ConcurrentTree<u64, u64>> = Arc::new(ConcurrentTree::new(
+                        ConcConfig::paper_default().with_pole(pole),
+                    ));
                     std::thread::scope(|s| {
                         for t in 0..threads {
                             let tree = tree.clone();

@@ -55,7 +55,7 @@ fn bench_range(c: &mut Criterion) {
                 b.iter(|| {
                     let mut total = 0usize;
                     for &(s, e) in &ranges {
-                        total += t.range(s, e).entries.len();
+                        total += t.range(s..e).count();
                     }
                     total
                 })

@@ -18,8 +18,8 @@ fn main() {
     let mut rows_c = Vec::new();
     for &k in &K_GRID {
         let keys = BodsSpec::new(n, k, 1.0).with_seed(opts.seed).generate();
-        let classic = ingest(Variant::Classic, opts.tree_config(), &keys);
-        let quit = ingest(Variant::Quit, opts.tree_config(), &keys);
+        let mut classic = ingest(Variant::Classic, opts.tree_config(), &keys);
+        let mut quit = ingest(Variant::Quit, opts.tree_config(), &keys);
 
         // (a) occupancy
         let mc = classic.tree.memory_report();
@@ -33,10 +33,10 @@ fn main() {
         // (b) point lookups
         let probes = point_lookup_keys(n, lookups, opts.seed ^ 1);
         let ns_c = (0..opts.reps)
-            .map(|_| time_point_lookups(&classic.tree, &probes))
+            .map(|_| time_point_lookups(&mut classic.tree, &probes))
             .fold(f64::MAX, f64::min);
         let ns_q = (0..opts.reps)
-            .map(|_| time_point_lookups(&quit.tree, &probes))
+            .map(|_| time_point_lookups(&mut quit.tree, &probes))
             .fold(f64::MAX, f64::min);
         rows_b.push(vec![
             pct(k),
@@ -51,11 +51,11 @@ fn main() {
             let ranges = range_lookup_bounds(n, n_ranges, sel, opts.seed ^ 2);
             let leaf_c: u64 = ranges
                 .iter()
-                .map(|&(s, e)| classic.tree.range(s, e).leaf_accesses)
+                .map(|&(s, e)| classic.tree.range_with_stats(s..e).leaf_accesses)
                 .sum();
             let leaf_q: u64 = ranges
                 .iter()
-                .map(|&(s, e)| quit.tree.range(s, e).leaf_accesses)
+                .map(|&(s, e)| quit.tree.range_with_stats(s..e).leaf_accesses)
                 .sum();
             row.push(format!("{:.2}", leaf_c as f64 / leaf_q.max(1) as f64));
         }

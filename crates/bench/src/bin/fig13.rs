@@ -9,11 +9,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 fn run_inserts(keys: &[u64], threads: usize, pole: bool) -> f64 {
-    let tree: Arc<ConcurrentTree<u64, u64>> = Arc::new(ConcurrentTree::new(if pole {
-        ConcConfig::quit()
-    } else {
-        ConcConfig::classic()
-    }));
+    let tree: Arc<ConcurrentTree<u64, u64>> = Arc::new(ConcurrentTree::new(
+        ConcConfig::paper_default().with_pole(pole),
+    ));
     let start = Instant::now();
     std::thread::scope(|s| {
         for t in 0..threads {

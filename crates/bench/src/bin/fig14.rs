@@ -26,7 +26,7 @@ fn main() {
         let sware_ns = best.as_nanos() as f64 / n as f64;
 
         // QuIT ingest.
-        let quit = ingest_reps(Variant::Quit, opts.tree_config(), &keys, opts.reps);
+        let mut quit = ingest_reps(Variant::Quit, opts.tree_config(), &keys, opts.reps);
 
         rows_a.push(vec![
             pct(k),
@@ -49,7 +49,7 @@ fn main() {
         });
         let sware_q = best.as_nanos() as f64 / probes.len() as f64;
         let quit_q = (0..opts.reps)
-            .map(|_| time_point_lookups(&quit.tree, &probes))
+            .map(|_| time_point_lookups(&mut quit.tree, &probes))
             .fold(f64::MAX, f64::min);
         rows_b.push(vec![
             pct(k),

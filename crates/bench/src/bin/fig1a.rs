@@ -19,8 +19,8 @@ fn main() {
     for (label, k) in workloads {
         let keys = BodsSpec::new(n, k, 1.0).with_seed(opts.seed).generate();
 
-        let tail = ingest_reps(Variant::Tail, opts.tree_config(), &keys, opts.reps);
-        let quit = ingest_reps(Variant::Quit, opts.tree_config(), &keys, opts.reps);
+        let mut tail = ingest_reps(Variant::Tail, opts.tree_config(), &keys, opts.reps);
+        let mut quit = ingest_reps(Variant::Quit, opts.tree_config(), &keys, opts.reps);
         let mut sa: SaBpTree<u64, u64> = SaBpTree::new(SwareConfig::for_data_size(n));
         let best = time_best(opts.reps, || {
             sa = SaBpTree::new(SwareConfig::for_data_size(n));
@@ -42,7 +42,7 @@ fn main() {
             // build, with uniform random lookups.
             let probes = point_lookup_keys(n, lookups, opts.seed ^ 9);
             let tail_q = (0..opts.reps)
-                .map(|_| time_point_lookups(&tail.tree, &probes))
+                .map(|_| time_point_lookups(&mut tail.tree, &probes))
                 .fold(f64::MAX, f64::min);
             let best = time_best(opts.reps, || {
                 let mut hits = 0usize;
@@ -55,7 +55,7 @@ fn main() {
             });
             let sware_q = best.as_nanos() as f64 / probes.len() as f64;
             let quit_q = (0..opts.reps)
-                .map(|_| time_point_lookups(&quit.tree, &probes))
+                .map(|_| time_point_lookups(&mut quit.tree, &probes))
                 .fold(f64::MAX, f64::min);
             lookup_row.extend([
                 format!("{tail_q:.0}"),

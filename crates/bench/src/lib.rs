@@ -21,10 +21,11 @@
 //! | `table2` | Table 2 — space reduction |
 //! | `table3` | Table 3 — scalability with data size |
 //! | `sensitivity` | extra: IKR-scale and `T_R` tuning sweeps (§4.4's "little to no tuning") |
+//! | `batch_ingest` | extra: `insert_batch` vs per-key loop across the K grid |
 
 #![warn(missing_docs)]
 
-use quit_core::{BpTree, TreeConfig, Variant};
+use quit_core::{BpTree, SortedIndex, TreeConfig, Variant};
 use std::time::{Duration, Instant};
 
 /// Common command-line options shared by the figure binaries.
@@ -128,30 +129,34 @@ impl Opts {
     }
 }
 
-/// Result of ingesting a workload into one index variant.
-pub struct IngestRun {
-    /// The populated tree.
-    pub tree: BpTree<u64, u64>,
+/// Result of ingesting a workload into one index.
+///
+/// Generic over the index family: the driver functions below go through
+/// [`SortedIndex`], so every family (QuIT/B+-tree variants, the concurrent
+/// tree, SWARE's SA-B+-tree) is measured by identical code.
+pub struct IngestRun<T> {
+    /// The populated index.
+    pub tree: T,
     /// Wall-clock ingest time.
     pub elapsed: Duration,
     /// Nanoseconds per insert.
     pub ns_per_insert: f64,
 }
 
-/// Builds `variant` and ingests `keys` (values = arrival positions).
-pub fn ingest(variant: Variant, config: TreeConfig, keys: &[u64]) -> IngestRun {
-    ingest_reps(variant, config, keys, 1)
-}
-
-/// Like [`ingest`], repeated `reps` times keeping the fastest wall clock
-/// (the returned tree is from the final repetition; its contents and
-/// counters are identical across repetitions).
-pub fn ingest_reps(variant: Variant, config: TreeConfig, keys: &[u64], reps: usize) -> IngestRun {
+/// Ingests `keys` per key (values = arrival positions) into a fresh index
+/// from `build`, repeated `reps` times keeping the fastest wall clock
+/// (noisy-neighbour mitigation; the returned index is from the final
+/// repetition — contents and counters are identical across repetitions).
+pub fn ingest_index<T, F>(mut build: F, keys: &[u64], reps: usize) -> IngestRun<T>
+where
+    T: SortedIndex<u64, u64>,
+    F: FnMut() -> T,
+{
     let mut best: Option<Duration> = None;
-    let mut tree = variant.build::<u64, u64>(config.clone());
+    let mut tree = build();
     for rep in 0..reps.max(1) {
         if rep > 0 {
-            tree = variant.build::<u64, u64>(config.clone());
+            tree = build();
         }
         let start = Instant::now();
         for (i, &k) in keys.iter().enumerate() {
@@ -168,6 +173,53 @@ pub fn ingest_reps(variant: Variant, config: TreeConfig, keys: &[u64], reps: usi
     }
 }
 
+/// Like [`ingest_index`], but ingesting through one
+/// [`SortedIndex::insert_batch`] call over the whole stream — the
+/// batched-run counterpart measured by the `batch_ingest` binary.
+pub fn ingest_index_batch<T, F>(mut build: F, keys: &[u64], reps: usize) -> IngestRun<T>
+where
+    T: SortedIndex<u64, u64>,
+    F: FnMut() -> T,
+{
+    let entries: Vec<(u64, u64)> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u64))
+        .collect();
+    let mut best: Option<Duration> = None;
+    let mut tree = build();
+    for rep in 0..reps.max(1) {
+        if rep > 0 {
+            tree = build();
+        }
+        let start = Instant::now();
+        tree.insert_batch(&entries);
+        let elapsed = start.elapsed();
+        best = Some(best.map_or(elapsed, |b| b.min(elapsed)));
+    }
+    let elapsed = best.expect("at least one repetition");
+    IngestRun {
+        ns_per_insert: elapsed.as_nanos() as f64 / keys.len().max(1) as f64,
+        tree,
+        elapsed,
+    }
+}
+
+/// Builds `variant` and ingests `keys` (values = arrival positions).
+pub fn ingest(variant: Variant, config: TreeConfig, keys: &[u64]) -> IngestRun<BpTree<u64, u64>> {
+    ingest_reps(variant, config, keys, 1)
+}
+
+/// Like [`ingest`], repeated `reps` times keeping the fastest wall clock.
+pub fn ingest_reps(
+    variant: Variant,
+    config: TreeConfig,
+    keys: &[u64],
+    reps: usize,
+) -> IngestRun<BpTree<u64, u64>> {
+    ingest_index(|| variant.build::<u64, u64>(config.clone()), keys, reps)
+}
+
 /// Runs `f` `reps` times and returns the fastest wall clock.
 pub fn time_best<F: FnMut()>(reps: usize, mut f: F) -> Duration {
     let mut best: Option<Duration> = None;
@@ -181,7 +233,9 @@ pub fn time_best<F: FnMut()>(reps: usize, mut f: F) -> Duration {
 }
 
 /// Times point lookups for every probe key; returns nanoseconds per lookup.
-pub fn time_point_lookups(tree: &BpTree<u64, u64>, probes: &[u64]) -> f64 {
+/// (`&mut` because [`SortedIndex::get`] is `&mut self`: SWARE's buffered
+/// tree cracks pages on reads.)
+pub fn time_point_lookups<T: SortedIndex<u64, u64>>(tree: &mut T, probes: &[u64]) -> f64 {
     let start = Instant::now();
     let mut hits = 0usize;
     for &k in probes {
@@ -250,10 +304,45 @@ mod tests {
     #[test]
     fn lookup_timer_finds_keys() {
         let keys: Vec<u64> = (0..10_000).collect();
-        let run = ingest(Variant::Classic, TreeConfig::small(64), &keys);
+        let mut run = ingest(Variant::Classic, TreeConfig::small(64), &keys);
         let probes = bods::point_lookup_keys(10_000, 1000, 7);
-        let ns = time_point_lookups(&run.tree, &probes);
+        let ns = time_point_lookups(&mut run.tree, &probes);
         assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn batch_ingest_matches_per_key() {
+        let keys: Vec<u64> = (0..30_000).collect();
+        let config = TreeConfig::small(64);
+        let per_key = ingest(Variant::Quit, config.clone(), &keys);
+        let batched = ingest_index_batch(|| Variant::Quit.build(config.clone()), &keys, 1);
+        assert_eq!(per_key.tree.len(), batched.tree.len());
+        let a: Vec<(u64, u64)> = per_key.tree.iter().map(|(k, v)| (k, *v)).collect();
+        let b: Vec<(u64, u64)> = batched.tree.iter().map(|(k, v)| (k, *v)).collect();
+        assert_eq!(a, b, "batch ingest must produce identical contents");
+        batched.tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn ingest_index_drives_every_family() {
+        // No per-family special-casing: the same generic driver handles
+        // core, concurrent, and SWARE indexes.
+        let keys = bods::BodsSpec::new(5_000, 0.05, 1.0).generate();
+        let core = ingest_index(
+            || Variant::Quit.build::<u64, u64>(TreeConfig::small(64)),
+            &keys,
+            1,
+        );
+        let conc = ingest_index(quit_concurrent::ConcurrentTree::<u64, u64>::quit, &keys, 1);
+        let mut sware = ingest_index(
+            || sware::SaBpTree::<u64, u64>::new(sware::SwareConfig::small(256, 64)),
+            &keys,
+            1,
+        );
+        sware.tree.flush_all();
+        assert_eq!(core.tree.len(), keys.len());
+        assert_eq!(quit_concurrent::ConcurrentTree::len(&conc.tree), keys.len());
+        assert_eq!(sware.tree.len(), keys.len());
     }
 
     #[test]

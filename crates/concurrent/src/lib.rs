@@ -31,7 +31,9 @@
 #![deny(unsafe_code)]
 
 mod node;
+#[allow(unsafe_code)]
+mod sync;
 mod tree;
 
 pub use node::{CNode, NodeRef};
-pub use tree::{ConcConfig, ConcStats, ConcurrentTree};
+pub use tree::{ConcConfig, ConcRangeIter, ConcStats, ConcurrentTree};

@@ -1,13 +1,13 @@
 //! Lock-per-node tree nodes for the concurrent QuIT (§4.5).
 //!
-//! Every node sits behind its own `parking_lot::RwLock`; links are `Arc`s so
-//! guards can outlive the reference that produced them (`arc_lock`). Leaves
+//! Every node sits behind its own [`crate::sync::RwLock`]; links are `Arc`s
+//! so guards can outlive the reference that produced them. Leaves
 //! carry their own separator bounds (`low`/`high`), maintained under the
 //! leaf's write lock at split time — this lets the fast path validate an
 //! insert against the leaf itself, immune to staleness of the shared
 //! fast-path metadata.
 
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 use std::sync::Arc;
 
 /// Shared handle to a locked node.
@@ -90,7 +90,7 @@ mod tests {
     #[test]
     fn guards_are_arc_detached() {
         let r: NodeRef<u64, u64> = CNode::empty_leaf(4).into_ref();
-        let guard = parking_lot::RwLock::write_arc(&r);
+        let guard = crate::sync::RwLock::write_arc(&r);
         // The guard owns an Arc clone: dropping `r` is fine.
         drop(r);
         assert!(guard.is_leaf());

@@ -1,0 +1,321 @@
+//! Minimal lock primitives replacing `parking_lot` (+`arc_lock`), which the
+//! offline build environment cannot download.
+//!
+//! The tree needs exactly four things from its locks:
+//! 1. borrowed read/write guards (`RwLock::read` / `RwLock::write`),
+//! 2. **Arc-owning** guards that can outlive the binding that produced them
+//!    (`write_arc` / `read_arc`), which lock-crabbing relies on to hand a
+//!    locked child up the loop while the parent guard drops,
+//! 3. a non-blocking `try_write_arc` for the fast path's single-leaf lock,
+//! 4. a poison-free `Mutex` for the fast-path metadata.
+//!
+//! The implementation is a classic condvar-based readers–writer lock. It is
+//! not fair (writers can starve under a stream of readers), which matches
+//! `parking_lot`'s default well enough for the workloads in this repo; the
+//! paper's Fig 13 experiment is insert-dominated, so fairness is not on the
+//! measured path. The `unsafe` is confined to the `UnsafeCell` accesses in
+//! the guards, each justified by the state machine in `LockState`.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+#[derive(Default)]
+struct LockState {
+    /// Active shared holders.
+    readers: usize,
+    /// Whether the exclusive holder is active.
+    writer: bool,
+}
+
+/// A readers–writer lock with borrowed and Arc-owning guards.
+pub struct RwLock<T> {
+    state: StdMutex<LockState>,
+    cond: Condvar,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the lock protocol guarantees exclusive access for writers and
+// shared access for readers, exactly the contract `RwLock` exists to
+// enforce; `T: Send` lets the value move with the lock, and `Sync` access
+// from many threads is mediated by the guards.
+unsafe impl<T: Send> Send for RwLock<T> {}
+unsafe impl<T: Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    /// Creates an unlocked lock holding `value`.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            state: StdMutex::new(LockState::default()),
+            cond: Condvar::new(),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    fn state(&self) -> StdMutexGuard<'_, LockState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_shared(&self) {
+        let mut s = self.state();
+        while s.writer {
+            s = self.cond.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        s.readers += 1;
+    }
+
+    fn lock_exclusive(&self) {
+        let mut s = self.state();
+        while s.writer || s.readers > 0 {
+            s = self.cond.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        s.writer = true;
+    }
+
+    fn try_lock_exclusive(&self) -> bool {
+        let mut s = self.state();
+        if s.writer || s.readers > 0 {
+            false
+        } else {
+            s.writer = true;
+            true
+        }
+    }
+
+    fn unlock_shared(&self) {
+        let mut s = self.state();
+        s.readers -= 1;
+        if s.readers == 0 {
+            drop(s);
+            self.cond.notify_all();
+        }
+    }
+
+    fn unlock_exclusive(&self) {
+        self.state().writer = false;
+        self.cond.notify_all();
+    }
+
+    /// Acquires shared access for the guard's lifetime.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.lock_shared();
+        RwLockReadGuard { lock: self }
+    }
+
+    /// Acquires exclusive access for the guard's lifetime.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.lock_exclusive();
+        RwLockWriteGuard { lock: self }
+    }
+
+    /// Acquires shared access through an `Arc`, so the guard keeps the node
+    /// alive and is not tied to the borrow of `this`.
+    pub fn read_arc(this: &Arc<Self>) -> ArcRwLockReadGuard<T> {
+        this.lock_shared();
+        ArcRwLockReadGuard { lock: this.clone() }
+    }
+
+    /// Exclusive counterpart of [`RwLock::read_arc`].
+    pub fn write_arc(this: &Arc<Self>) -> ArcRwLockWriteGuard<T> {
+        this.lock_exclusive();
+        ArcRwLockWriteGuard { lock: this.clone() }
+    }
+
+    /// Non-blocking [`RwLock::write_arc`]; `None` when contended.
+    pub fn try_write_arc(this: &Arc<Self>) -> Option<ArcRwLockWriteGuard<T>> {
+        this.try_lock_exclusive()
+            .then(|| ArcRwLockWriteGuard { lock: this.clone() })
+    }
+}
+
+impl<T> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never touches `data`: reading it here could deadlock (e.g. Debug
+        // on a write-locked node while printing the tree).
+        f.write_str("RwLock { .. }")
+    }
+}
+
+/// Borrowed shared guard. See [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: shared access is held until drop; writers are excluded.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.unlock_shared();
+    }
+}
+
+/// Borrowed exclusive guard. See [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: exclusive access is held until drop.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: exclusive access is held until drop.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.unlock_exclusive();
+    }
+}
+
+/// Arc-owning shared guard. See [`RwLock::read_arc`].
+pub struct ArcRwLockReadGuard<T> {
+    lock: Arc<RwLock<T>>,
+}
+
+impl<T> Deref for ArcRwLockReadGuard<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: shared access is held until drop; writers are excluded.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for ArcRwLockReadGuard<T> {
+    fn drop(&mut self) {
+        self.lock.unlock_shared();
+    }
+}
+
+/// Arc-owning exclusive guard. See [`RwLock::write_arc`].
+pub struct ArcRwLockWriteGuard<T> {
+    lock: Arc<RwLock<T>>,
+}
+
+impl<T> Deref for ArcRwLockWriteGuard<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: exclusive access is held until drop.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for ArcRwLockWriteGuard<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: exclusive access is held until drop.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for ArcRwLockWriteGuard<T> {
+    fn drop(&mut self) {
+        self.lock.unlock_exclusive();
+    }
+}
+
+/// A poison-free mutex (lock() never returns a `Result`), mirroring the
+/// parking_lot API the fast-path metadata uses.
+pub struct Mutex<T>(StdMutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates an unlocked mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex(StdMutex::new(value))
+    }
+
+    /// Acquires the mutex, ignoring poisoning from panicked holders.
+    pub fn lock(&self) -> StdMutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn exclusive_excludes_everyone() {
+        let lock = Arc::new(RwLock::new(0u64));
+        let g = RwLock::write_arc(&lock);
+        assert!(RwLock::try_write_arc(&lock).is_none());
+        drop(g);
+        assert!(RwLock::try_write_arc(&lock).is_some());
+    }
+
+    #[test]
+    fn readers_share_and_block_writers() {
+        let lock = Arc::new(RwLock::new(5u64));
+        let r1 = RwLock::read_arc(&lock);
+        let r2 = lock.read();
+        assert_eq!(*r1 + *r2, 10);
+        assert!(RwLock::try_write_arc(&lock).is_none());
+        drop(r1);
+        drop(r2);
+        *RwLock::write_arc(&lock) = 6;
+        assert_eq!(*lock.read(), 6);
+    }
+
+    #[test]
+    fn arc_guard_outlives_handle() {
+        let lock = Arc::new(RwLock::new(vec![1, 2, 3]));
+        let guard = RwLock::write_arc(&lock);
+        drop(lock);
+        assert_eq!(guard.len(), 3);
+    }
+
+    #[test]
+    fn contended_counter_stays_consistent() {
+        let lock = Arc::new(RwLock::new(0u64));
+        let reads = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let lock = Arc::clone(&lock);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        *lock.write() += 1;
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let lock = Arc::clone(&lock);
+                let reads = Arc::clone(&reads);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        let v = *lock.read();
+                        assert!(v <= 4000);
+                        reads.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(*lock.read(), 4000);
+        assert_eq!(reads.load(Ordering::Relaxed), 4000);
+    }
+
+    #[test]
+    fn mutex_ignores_poison() {
+        let m = Arc::new(Mutex::new(1u64));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the std mutex");
+        })
+        .join();
+        assert_eq!(*m.lock(), 1);
+    }
+}

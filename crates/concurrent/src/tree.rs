@@ -19,15 +19,17 @@
 //! they affect space, not the concurrency behaviour Fig 13 measures.
 
 use crate::node::{CNode, NodeRef};
-use parking_lot::lock_api::ArcRwLockWriteGuard;
-use parking_lot::{Mutex, RawRwLock, RwLock};
+use crate::sync::{ArcRwLockReadGuard, ArcRwLockWriteGuard, Mutex, RwLock};
 use quit_core::{ikr_bound, Key};
+use std::ops::{Bound, RangeBounds};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-type WriteGuard<K, V> = ArcRwLockWriteGuard<RawRwLock, CNode<K, V>>;
+type WriteGuard<K, V> = ArcRwLockWriteGuard<CNode<K, V>>;
 
-/// Configuration of the concurrent tree.
+/// Configuration of the concurrent tree, mirroring `quit-core`'s
+/// [`quit_core::TreeConfig`] naming: `paper_default()` / `small(cap)`
+/// constructors plus `with_*` builder overrides.
 #[derive(Debug, Clone)]
 pub struct ConcConfig {
     /// Maximum entries per leaf.
@@ -38,39 +40,89 @@ pub struct ConcConfig {
     pub ikr_scale: f64,
     /// Enable the poℓe fast path (off ⇒ plain concurrent B+-tree).
     pub pole_enabled: bool,
-    /// Consecutive top-inserts before the fast path resets (`T_R`).
-    pub reset_threshold: usize,
+    /// Consecutive top-inserts before the fast path resets (`T_R` in §4.3).
+    /// `None` disables the reset strategy.
+    pub reset_threshold: Option<usize>,
 }
 
 impl ConcConfig {
-    /// Paper geometry with the fast path enabled (concurrent QuIT).
-    pub fn quit() -> Self {
+    /// Paper-default geometry: 510-entry nodes, IKR scale 1.5, poℓe fast
+    /// path on, `T_R = ⌊√510⌋ = 22`.
+    pub fn paper_default() -> Self {
         ConcConfig {
             leaf_capacity: 510,
             internal_capacity: 510,
             ikr_scale: 1.5,
             pole_enabled: true,
-            reset_threshold: 22,
+            reset_threshold: Some(Self::default_reset_threshold(510)),
         }
     }
 
-    /// Paper geometry with the fast path disabled (concurrent B+-tree).
-    pub fn classic() -> Self {
-        ConcConfig {
-            pole_enabled: false,
-            ..Self::quit()
-        }
-    }
-
-    /// Small geometry for tests.
-    pub fn small(leaf_capacity: usize, pole_enabled: bool) -> Self {
+    /// A small geometry that forces frequent splits; used heavily in tests.
+    pub fn small(leaf_capacity: usize) -> Self {
         ConcConfig {
             leaf_capacity,
             internal_capacity: leaf_capacity.max(4),
             ikr_scale: 1.5,
-            pole_enabled,
-            reset_threshold: ((leaf_capacity as f64).sqrt() as usize).max(1),
+            pole_enabled: true,
+            reset_threshold: Some(Self::default_reset_threshold(leaf_capacity)),
         }
+    }
+
+    /// `T_R = ⌊√leaf_capacity⌋`, the paper's balanced reset trigger.
+    pub fn default_reset_threshold(leaf_capacity: usize) -> usize {
+        ((leaf_capacity as f64).sqrt().floor() as usize).max(1)
+    }
+
+    /// Set the leaf capacity, keeping the reset threshold in sync.
+    pub fn with_leaf_capacity(mut self, cap: usize) -> Self {
+        assert!(cap >= 2, "leaf capacity must be at least 2");
+        self.leaf_capacity = cap;
+        self.internal_capacity = cap.max(4);
+        if self.reset_threshold.is_some() {
+            self.reset_threshold = Some(Self::default_reset_threshold(cap));
+        }
+        self
+    }
+
+    /// Builder-style toggle of the poℓe fast path.
+    pub fn with_pole(mut self, enabled: bool) -> Self {
+        self.pole_enabled = enabled;
+        self
+    }
+
+    /// Builder-style override of the IKR scale.
+    pub fn with_ikr_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "IKR scale must be positive");
+        self.ikr_scale = scale;
+        self
+    }
+
+    /// Builder-style override of the reset threshold (`None` disables reset).
+    pub fn with_reset_threshold(mut self, t: Option<usize>) -> Self {
+        self.reset_threshold = t;
+        self
+    }
+
+    /// Paper geometry with the fast path enabled (concurrent QuIT).
+    #[deprecated(since = "0.2.0", note = "use `ConcConfig::paper_default()`")]
+    pub fn quit() -> Self {
+        Self::paper_default()
+    }
+
+    /// Paper geometry with the fast path disabled (concurrent B+-tree).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ConcConfig::paper_default().with_pole(false)`"
+    )]
+    pub fn classic() -> Self {
+        Self::paper_default().with_pole(false)
+    }
+}
+
+impl Default for ConcConfig {
+    fn default() -> Self {
+        Self::paper_default()
     }
 }
 
@@ -136,12 +188,12 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
 
     /// Concurrent QuIT with paper geometry.
     pub fn quit() -> Self {
-        Self::new(ConcConfig::quit())
+        Self::new(ConcConfig::paper_default())
     }
 
     /// Concurrent classical B+-tree with paper geometry.
     pub fn classic() -> Self {
-        Self::new(ConcConfig::classic())
+        Self::new(ConcConfig::paper_default().with_pole(false))
     }
 
     /// Entries in the tree.
@@ -357,7 +409,7 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
     fn propagate_split(
         &self,
         mut path: Vec<(NodeRef<K, V>, WriteGuard<K, V>)>,
-        mut root_guard: Option<parking_lot::RwLockWriteGuard<'_, NodeRef<K, V>>>,
+        mut root_guard: Option<crate::sync::RwLockWriteGuard<'_, NodeRef<K, V>>>,
         mut sep: K,
         mut right: NodeRef<K, V>,
     ) {
@@ -453,7 +505,10 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
             }
         }
         fp.fails += 1;
-        if fp.fails >= self.config.reset_threshold {
+        let Some(reset_threshold) = self.config.reset_threshold else {
+            return;
+        };
+        if fp.fails >= reset_threshold {
             // §4.3 reset: adopt the leaf that accepted the latest insert.
             self.stats.fp_resets.fetch_add(1, Ordering::Relaxed);
             fp.leaf = Some(target_arc);
@@ -548,134 +603,185 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
         self.get(key).is_some()
     }
 
-    /// Range scan over `[start, end)` with shared lock coupling along the
-    /// leaf chain (§4.5 "Locking Protocol for Lookups").
-    pub fn range(&self, start: K, end: K) -> Vec<(K, V)> {
-        let mut out = Vec::new();
-        if start >= end {
-            return out;
+    /// Lazy range scan over the entries within `bounds` (`a..b`, `a..=b`,
+    /// `..b`, `a..`, `..`), with shared lock coupling along the leaf chain
+    /// (§4.5 "Locking Protocol for Lookups").
+    ///
+    /// The iterator holds a read lock on the leaf it is positioned in and
+    /// acquires the next leaf's lock before releasing the current one, so a
+    /// scan observes each leaf atomically. Writers block on the locked leaf
+    /// only — drop (or finish) the iterator promptly, and never insert into
+    /// the same tree from the thread that holds an open scan.
+    pub fn range<R: RangeBounds<K>>(&self, bounds: R) -> ConcRangeIter<K, V> {
+        let end = copy_bound(bounds.end_bound());
+        if bounds_empty(bounds.start_bound(), bounds.end_bound()) {
+            return ConcRangeIter {
+                leaf: None,
+                pos: 0,
+                end,
+                leaf_accesses: 0,
+            };
         }
         let root_ptr = self.root.read();
         let root = root_ptr.clone();
         let mut guard = RwLock::read_arc(&root);
         drop(root_ptr);
-        // Descend to the leaf containing `start`.
+        // Descend to the first leaf that can hold an admitted key. A
+        // left-biased descent (`< s`) finds the leftmost leaf that may
+        // contain an inclusive start (duplicates can straddle leaves and
+        // concurrent leaves have no prev pointers); an excluded start
+        // descends right-biased (`<= s`) and lets the chain walk skip the
+        // duplicate run.
         loop {
             let child = match &*guard {
                 CNode::Leaf { .. } => break,
                 CNode::Internal { keys, children } => {
-                    let i = keys.partition_point(|k| *k < start);
+                    let i = match bounds.start_bound() {
+                        Bound::Unbounded => 0,
+                        Bound::Included(s) => keys.partition_point(|k| *k < *s),
+                        Bound::Excluded(s) => keys.partition_point(|k| *k <= *s),
+                    };
                     children[i].clone()
                 }
             };
             guard = RwLock::read_arc(&child);
         }
-        // Walk the chain, acquiring the next leaf before releasing this one.
-        loop {
-            let next = match &*guard {
-                CNode::Leaf {
-                    keys, vals, next, ..
-                } => {
-                    let lo = keys.partition_point(|k| *k < start);
-                    for i in lo..keys.len() {
-                        if keys[i] >= end {
-                            return out;
-                        }
-                        out.push((keys[i], vals[i].clone()));
-                    }
-                    next.clone()
-                }
-                _ => unreachable!("chain holds leaves"),
-            };
-            match next {
-                Some(n) => {
-                    guard = RwLock::read_arc(&n);
-                }
-                None => return out,
-            }
+        let pos = match (&*guard, bounds.start_bound()) {
+            (_, Bound::Unbounded) => 0,
+            (CNode::Leaf { keys, .. }, Bound::Included(s)) => keys.partition_point(|k| *k < *s),
+            (CNode::Leaf { keys, .. }, Bound::Excluded(s)) => keys.partition_point(|k| *k <= *s),
+            _ => unreachable!("descent ends at a leaf"),
+        };
+        ConcRangeIter {
+            leaf: Some(guard),
+            pos,
+            end,
+            leaf_accesses: 1,
         }
     }
 
     /// All entries in key order (test/diagnostic helper; locks one leaf at
     /// a time).
     pub fn collect_all(&self) -> Vec<(K, V)> {
-        match (self.min_key(), self.max_key_plus()) {
-            (Some(lo), Some(_)) => {
-                // Range over everything: use an unbounded walk.
-                let mut out = self.range_from(lo);
-                out.shrink_to_fit();
-                out
+        self.range(..).collect()
+    }
+}
+
+fn copy_bound<K: Copy>(b: Bound<&K>) -> Bound<K> {
+    match b {
+        Bound::Included(&k) => Bound::Included(k),
+        Bound::Excluded(&k) => Bound::Excluded(k),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+fn bounds_empty<K: Ord>(start: Bound<&K>, end: Bound<&K>) -> bool {
+    match (start, end) {
+        (Bound::Included(s), Bound::Included(e)) => s > e,
+        (Bound::Included(s), Bound::Excluded(e))
+        | (Bound::Excluded(s), Bound::Included(e))
+        | (Bound::Excluded(s), Bound::Excluded(e)) => s >= e,
+        _ => false,
+    }
+}
+
+/// Lazy, lock-coupled range iterator. See [`ConcurrentTree::range`].
+pub struct ConcRangeIter<K, V> {
+    leaf: Option<ArcRwLockReadGuard<CNode<K, V>>>,
+    pos: usize,
+    end: Bound<K>,
+    leaf_accesses: u64,
+}
+
+impl<K: Key, V: Clone> ConcRangeIter<K, V> {
+    /// Leaf nodes this scan has locked so far.
+    pub fn leaf_accesses(&self) -> u64 {
+        self.leaf_accesses
+    }
+}
+
+impl<K: Key, V: Clone> Iterator for ConcRangeIter<K, V> {
+    type Item = (K, V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let guard = self.leaf.as_ref()?;
+            let CNode::Leaf {
+                keys, vals, next, ..
+            } = &**guard
+            else {
+                unreachable!("chain holds leaves");
+            };
+            if self.pos < keys.len() {
+                let k = keys[self.pos];
+                let admitted = match self.end {
+                    Bound::Included(e) => k <= e,
+                    Bound::Excluded(e) => k < e,
+                    Bound::Unbounded => true,
+                };
+                if !admitted {
+                    self.leaf = None;
+                    return None;
+                }
+                let v = vals[self.pos].clone();
+                self.pos += 1;
+                return Some((k, v));
             }
-            _ => Vec::new(),
-        }
-    }
-
-    fn min_key(&self) -> Option<K> {
-        let root_ptr = self.root.read();
-        let root = root_ptr.clone();
-        let mut guard = RwLock::read_arc(&root);
-        drop(root_ptr);
-        loop {
-            let child = match &*guard {
-                CNode::Leaf { keys, .. } => return keys.first().copied(),
-                CNode::Internal { children, .. } => children[0].clone(),
-            };
-            guard = RwLock::read_arc(&child);
-        }
-    }
-
-    fn max_key_plus(&self) -> Option<K> {
-        let root_ptr = self.root.read();
-        let root = root_ptr.clone();
-        let mut guard = RwLock::read_arc(&root);
-        drop(root_ptr);
-        loop {
-            let child = match &*guard {
-                CNode::Leaf { keys, .. } => return keys.last().copied(),
-                CNode::Internal { children, .. } => {
-                    children.last().expect("internal has children").clone()
-                }
-            };
-            guard = RwLock::read_arc(&child);
-        }
-    }
-
-    /// All entries with keys `>= start`, in order.
-    fn range_from(&self, start: K) -> Vec<(K, V)> {
-        let mut out = Vec::new();
-        let root_ptr = self.root.read();
-        let root = root_ptr.clone();
-        let mut guard = RwLock::read_arc(&root);
-        drop(root_ptr);
-        loop {
-            let child = match &*guard {
-                CNode::Leaf { .. } => break,
-                CNode::Internal { keys, children } => {
-                    let i = keys.partition_point(|k| *k < start);
-                    children[i].clone()
-                }
-            };
-            guard = RwLock::read_arc(&child);
-        }
-        loop {
-            let next = match &*guard {
-                CNode::Leaf {
-                    keys, vals, next, ..
-                } => {
-                    let lo = keys.partition_point(|k| *k < start);
-                    for i in lo..keys.len() {
-                        out.push((keys[i], vals[i].clone()));
-                    }
-                    next.clone()
-                }
-                _ => unreachable!(),
-            };
-            match next {
+            // Acquire the next leaf before releasing this one (coupling).
+            match next.clone() {
                 Some(n) => {
-                    guard = RwLock::read_arc(&n);
+                    let g = RwLock::read_arc(&n);
+                    self.leaf = Some(g);
+                    self.pos = 0;
+                    self.leaf_accesses += 1;
                 }
-                None => return out,
+                None => {
+                    self.leaf = None;
+                    return None;
+                }
             }
+        }
+    }
+}
+
+impl<K: Key, V: Clone> quit_core::SortedIndex<K, V> for ConcurrentTree<K, V> {
+    fn insert(&mut self, key: K, value: V) {
+        ConcurrentTree::insert(self, key, value);
+    }
+
+    fn get(&mut self, key: K) -> Option<V> {
+        ConcurrentTree::get(self, key)
+    }
+
+    fn delete(&mut self, key: K) -> Option<V> {
+        ConcurrentTree::delete(self, key)
+    }
+
+    fn range<R: RangeBounds<K>>(&mut self, bounds: R) -> impl Iterator<Item = (K, V)> + '_ {
+        ConcurrentTree::range(self, bounds)
+    }
+
+    fn range_with_stats<R: RangeBounds<K>>(&mut self, bounds: R) -> quit_core::RangeScan<K, V> {
+        let mut iter = ConcurrentTree::range(self, bounds);
+        let entries: Vec<(K, V)> = iter.by_ref().collect();
+        quit_core::RangeScan {
+            entries,
+            leaf_accesses: iter.leaf_accesses(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        ConcurrentTree::len(self)
+    }
+
+    fn stats_snapshot(&self) -> quit_core::StatsSnapshot {
+        quit_core::StatsSnapshot {
+            fast_inserts: self.stats.fast_inserts.load(Ordering::Relaxed),
+            top_inserts: self.stats.top_inserts.load(Ordering::Relaxed),
+            lookups: self.stats.lookups.load(Ordering::Relaxed),
+            fp_resets: self.stats.fp_resets.load(Ordering::Relaxed),
+            leaf_splits: self.stats.leaf_splits.load(Ordering::Relaxed),
+            ..Default::default()
         }
     }
 }
@@ -707,7 +813,7 @@ mod tests {
 
     #[test]
     fn single_threaded_roundtrip() {
-        let t: ConcurrentTree<u64, u64> = ConcurrentTree::new(ConcConfig::small(8, true));
+        let t: ConcurrentTree<u64, u64> = ConcurrentTree::new(ConcConfig::small(8));
         for k in 0..2000u64 {
             t.insert(k, k * 2);
         }
@@ -723,7 +829,7 @@ mod tests {
 
     #[test]
     fn sorted_ingest_uses_fast_path() {
-        let t: ConcurrentTree<u64, u64> = ConcurrentTree::new(ConcConfig::small(8, true));
+        let t: ConcurrentTree<u64, u64> = ConcurrentTree::new(ConcConfig::small(8));
         for k in 0..1000u64 {
             t.insert(k, k);
         }
@@ -734,7 +840,8 @@ mod tests {
 
     #[test]
     fn classic_mode_never_fast_inserts() {
-        let t: ConcurrentTree<u64, u64> = ConcurrentTree::new(ConcConfig::small(8, false));
+        let t: ConcurrentTree<u64, u64> =
+            ConcurrentTree::new(ConcConfig::small(8).with_pole(false));
         for k in 0..500u64 {
             t.insert(k, k);
         }
@@ -743,22 +850,26 @@ mod tests {
 
     #[test]
     fn range_scan_matches() {
-        let t: ConcurrentTree<u64, u64> = ConcurrentTree::new(ConcConfig::small(8, true));
+        let t: ConcurrentTree<u64, u64> = ConcurrentTree::new(ConcConfig::small(8));
         for k in 0..500u64 {
             t.insert(k, k);
         }
-        let r = t.range(100, 200);
+        let r: Vec<_> = t.range(100..200).collect();
         assert_eq!(r.len(), 100);
         assert_eq!(r[0], (100, 100));
         assert_eq!(r[99], (199, 199));
-        assert!(t.range(9_999, 10_000).is_empty());
-        assert!(t.range(10, 10).is_empty());
+        assert!(t.range(9_999..10_000).next().is_none());
+        assert!(t.range(10..10).next().is_none());
+        let inclusive: Vec<_> = t.range(100..=102).map(|e| e.0).collect();
+        assert_eq!(inclusive, vec![100, 101, 102]);
+        assert_eq!(t.range(..).count(), 500);
+        assert_eq!(t.range(495..).count(), 5);
     }
 
     #[test]
     fn concurrent_disjoint_inserts() {
         let t: StdArc<ConcurrentTree<u64, u64>> =
-            StdArc::new(ConcurrentTree::new(ConcConfig::small(16, true)));
+            StdArc::new(ConcurrentTree::new(ConcConfig::small(16)));
         let threads = 8;
         let per = 2_000u64;
         let handles: Vec<_> = (0..threads)
@@ -788,7 +899,7 @@ mod tests {
     fn concurrent_interleaved_inserts_same_range() {
         use rand::prelude::*;
         let t: StdArc<ConcurrentTree<u64, u64>> =
-            StdArc::new(ConcurrentTree::new(ConcConfig::small(8, true)));
+            StdArc::new(ConcurrentTree::new(ConcConfig::small(8)));
         let threads = 8;
         let per = 1500usize;
         let handles: Vec<_> = (0..threads)
@@ -815,7 +926,7 @@ mod tests {
     #[test]
     fn concurrent_readers_and_writers() {
         let t: StdArc<ConcurrentTree<u64, u64>> =
-            StdArc::new(ConcurrentTree::new(ConcConfig::small(8, true)));
+            StdArc::new(ConcurrentTree::new(ConcConfig::small(8)));
         for k in 0..1000u64 {
             t.insert(k, k);
         }
@@ -840,8 +951,8 @@ mod tests {
                             hits += 1;
                         }
                     }
-                    let r = t.range(0, 500);
-                    assert!(r.len() >= 500, "pre-loaded keys must stay visible");
+                    let n = t.range(0..500).count();
+                    assert!(n >= 500, "pre-loaded keys must stay visible");
                 }
                 assert!(hits > 0);
             }));
@@ -859,7 +970,7 @@ mod tests {
 
     #[test]
     fn delete_roundtrip_single_threaded() {
-        let t: ConcurrentTree<u64, u64> = ConcurrentTree::new(ConcConfig::small(8, true));
+        let t: ConcurrentTree<u64, u64> = ConcurrentTree::new(ConcConfig::small(8));
         for k in 0..1000u64 {
             t.insert(k, k * 3);
         }
@@ -879,7 +990,7 @@ mod tests {
     #[test]
     fn concurrent_deletes_and_inserts() {
         let t: StdArc<ConcurrentTree<u64, u64>> =
-            StdArc::new(ConcurrentTree::new(ConcConfig::small(8, true)));
+            StdArc::new(ConcurrentTree::new(ConcConfig::small(8)));
         for k in 0..10_000u64 {
             t.insert(k, k);
         }
@@ -913,7 +1024,7 @@ mod tests {
 
     #[test]
     fn fast_path_keeps_working_after_deletes() {
-        let t: ConcurrentTree<u64, u64> = ConcurrentTree::new(ConcConfig::small(8, true));
+        let t: ConcurrentTree<u64, u64> = ConcurrentTree::new(ConcConfig::small(8));
         for k in 0..2_000u64 {
             t.insert(k, k);
         }

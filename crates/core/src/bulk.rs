@@ -141,18 +141,105 @@ impl<K: Key, V> BpTree<K, V> {
         descents
     }
 
-    /// Inserts a batch of entries in any order: the batch is sorted once,
-    /// then streamed in via [`BpTree::bulk_insert_run`] (one traversal per
-    /// target leaf). For unsorted batches this amortizes the per-entry
-    /// descent the same way SWARE's buffer does, without the buffer.
-    pub fn insert_batch(&mut self, mut entries: Vec<(K, V)>) -> usize
+    /// Inserts a batch of entries, amortizing the fast path (§4.2) over
+    /// whole sorted runs instead of key-by-key.
+    ///
+    /// The batch is scanned for maximal non-decreasing runs. For each run,
+    /// the prefix admitted by the fast-path window `[min, max)` is validated
+    /// against the window **once** and appended to the poℓe/tail leaf in a
+    /// single `extend`, with one stats update for the whole chunk. When the
+    /// leaf overflows, exactly one entry is delegated to the mode's own
+    /// [`BpTree::insert`], so its split choreography — IKR-guided variable
+    /// split for poℓe, tail advance, etc. — runs at most once per overflow.
+    /// Out-of-order residue and entries outside the window fall back to the
+    /// ordinary per-key insert.
+    ///
+    /// Equivalent to a per-key insert loop: identical final contents and
+    /// splits, and the same `fast_inserts` count. Returns `entries.len()`.
+    pub fn insert_batch(&mut self, entries: &[(K, V)]) -> usize
     where
         V: Clone,
     {
-        entries.sort_by_key(|a| a.0);
-        let n = entries.len();
-        self.bulk_insert_run(&entries);
-        n
+        let mut i = 0usize;
+        while i < entries.len() {
+            let mut j = i + 1;
+            while j < entries.len() && entries[j].0 >= entries[j - 1].0 {
+                j += 1;
+            }
+            self.insert_sorted_run(&entries[i..j]);
+            i = j;
+        }
+        entries.len()
+    }
+
+    /// Inserts one sorted run: covered prefixes go through
+    /// [`BpTree::fast_append_run`], everything else per key.
+    fn insert_sorted_run(&mut self, run: &[(K, V)])
+    where
+        V: Clone,
+    {
+        debug_assert!(run.windows(2).all(|w| w[0].0 <= w[1].0));
+        let mut i = 0usize;
+        while i < run.len() {
+            if self.mode.has_fast_path() && self.fp.covers(run[i].0) {
+                i += self.fast_append_run(&run[i..]);
+            } else {
+                let (k, v) = &run[i];
+                self.insert(*k, v.clone());
+                i += 1;
+            }
+        }
+    }
+
+    /// Appends as much of `run` as fits the fast-path leaf in one shot.
+    /// Caller guarantees `run` is sorted and `fp.covers(run[0].0)`.
+    /// Returns how many entries were consumed (always `>= 1`).
+    fn fast_append_run(&mut self, run: &[(K, V)]) -> usize
+    where
+        V: Clone,
+    {
+        let leaf_id = self.fp.leaf.expect("covers() implies an armed fast path");
+        // Validate the run against the window once: everything before the
+        // first key `>= max` is admissible.
+        let chunk = match self.fp.max {
+            Some(max) => run.partition_point(|e| e.0 < max),
+            None => run.len(),
+        };
+        debug_assert!(chunk >= 1, "covers(run[0]) implies a non-empty chunk");
+        let space = self
+            .config
+            .leaf_capacity
+            .saturating_sub(self.leaf_len(leaf_id));
+        if space == 0 {
+            // Full leaf: route one entry through the mode's own insert so
+            // its split logic runs exactly once for this overflow.
+            let (k, v) = &run[0];
+            self.insert(*k, v.clone());
+            return 1;
+        }
+        let take = space.min(chunk);
+        let in_order = {
+            let leaf = self.arena.get(leaf_id).as_leaf();
+            leaf.keys.last().is_none_or(|&last| last <= run[0].0)
+        };
+        if in_order {
+            // The whole chunk lands past the leaf's current maximum: one
+            // bulk append, no per-entry search.
+            let leaf = self.arena.get_mut(leaf_id).as_leaf_mut();
+            leaf.keys.extend(run[..take].iter().map(|e| e.0));
+            leaf.vals.extend(run[..take].iter().map(|e| e.1.clone()));
+        } else {
+            // The run interleaves with resident keys: in-leaf merge,
+            // still without a root-to-leaf descent.
+            for (k, v) in &run[..take] {
+                self.insert_entry(leaf_id, *k, v.clone());
+            }
+        }
+        self.len += take;
+        self.fp.size = self.leaf_len(leaf_id);
+        self.fp.fails = 0;
+        crate::stats::Stats::add(&self.stats.fast_inserts, take as u64);
+        take
     }
 
     /// Recomputes fast-path metadata after a bulk operation may have split
@@ -314,12 +401,65 @@ mod tests {
         }
         let mut batch: Vec<(u64, u64)> = (0..500u64).map(|k| (k * 4 + 1, k)).collect();
         batch.shuffle(&mut rng);
-        assert_eq!(t.insert_batch(batch), 500);
+        assert_eq!(t.insert_batch(&batch), 500);
         assert_eq!(t.len(), 1000);
         t.check_invariants().unwrap();
         for k in 0..500u64 {
             assert!(t.contains_key(k * 4 + 1));
         }
+    }
+
+    #[test]
+    fn insert_batch_sorted_is_all_fast() {
+        let mut t: BpTree<u64, u64> = BpTree::with_config(FastPathMode::Pole, TreeConfig::small(8));
+        t.insert(0, 0);
+        t.stats().reset();
+        let batch: Vec<(u64, u64)> = (1..=4000u64).map(|k| (k, k * 2)).collect();
+        assert_eq!(t.insert_batch(&batch), 4000);
+        assert_eq!(t.len(), 4001);
+        assert_eq!(
+            t.stats().top_inserts.get(),
+            0,
+            "sorted batch never descends"
+        );
+        assert_eq!(t.stats().fast_inserts.get(), 4000);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_batch_matches_per_key_loop() {
+        // Same final contents AND same fast-insert count as the per-key
+        // baseline, on a stream with out-of-order residue.
+        let entries: Vec<(u64, u64)> = (0..2000u64)
+            .map(|i| if i % 50 == 17 { (i / 2, i) } else { (i * 3, i) })
+            .collect();
+        let mut batched: BpTree<u64, u64> =
+            BpTree::with_config(FastPathMode::Pole, TreeConfig::small(16));
+        batched.insert_batch(&entries);
+        let mut per_key: BpTree<u64, u64> =
+            BpTree::with_config(FastPathMode::Pole, TreeConfig::small(16));
+        for &(k, v) in &entries {
+            per_key.insert(k, v);
+        }
+        assert_eq!(batched.len(), per_key.len());
+        let a: Vec<(u64, u64)> = batched.iter().map(|(k, v)| (k, *v)).collect();
+        let b: Vec<(u64, u64)> = per_key.iter().map(|(k, v)| (k, *v)).collect();
+        assert_eq!(a, b);
+        assert!(
+            batched.stats().fast_inserts.get() >= per_key.stats().fast_inserts.get(),
+            "batched {} < per-key {}",
+            batched.stats().fast_inserts.get(),
+            per_key.stats().fast_inserts.get()
+        );
+        batched.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_batch_empty_and_single() {
+        let mut t: BpTree<u64, u64> = BpTree::quit();
+        assert_eq!(t.insert_batch(&[]), 0);
+        assert_eq!(t.insert_batch(&[(7, 70)]), 1);
+        assert_eq!(t.get(7), Some(&70));
     }
 
     #[test]

@@ -3,7 +3,6 @@
 /// Which rule locates the variable-split point `l` inside a full poℓe node
 /// (paper Algorithm 2, line 4).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SplitBoundRule {
     /// Use the full IKR bound of Eq. (2):
     /// `x = q + ((q − p) / poℓe_prev_size) · poℓe_size · scale`.
@@ -26,7 +25,6 @@ pub enum SplitBoundRule {
 /// 4 KB pages holding up to 510 8-byte entries, IKR scale 1.5, and a reset
 /// threshold of `⌊√leaf_capacity⌋`.
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TreeConfig {
     /// Maximum number of entries a leaf node holds.
     pub leaf_capacity: usize,

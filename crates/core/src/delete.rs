@@ -616,7 +616,7 @@ mod tests {
         }
         assert_eq!(t.delete_range(500, 1500), 1000);
         assert_eq!(t.len(), 1000);
-        assert_eq!(t.range_count(0, 2_000), 1000);
+        assert_eq!(t.range_count(0..2_000), 1000);
         assert_eq!(t.delete_range(500, 1500), 0);
         t.check_invariants().unwrap();
     }

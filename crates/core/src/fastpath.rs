@@ -20,7 +20,6 @@ use crate::key::Key;
 
 /// Which fast-path optimization the tree runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum FastPathMode {
     /// Classical B+-tree: every insert is a top-insert.
     None,

@@ -1,133 +1,146 @@
 //! Range lookups and full scans (§4.4): a point lookup locates the first
-//! entry `>= start`, then the interlinked leaf pointers drive the scan until
-//! an entry `>= end` appears.
+//! entry admitted by the start bound, then the interlinked leaf pointers
+//! drive the scan until the end bound rejects an entry.
+//!
+//! The primary API is the lazy [`BpTree::range`], which accepts any
+//! `impl RangeBounds<K>` (`a..b`, `a..=b`, `..b`, `a..`, `..`) and borrows
+//! values instead of cloning them. [`BpTree::range_with_stats`] materializes
+//! the same scan and reports the leaf-access count the paper's Fig 10c
+//! measures.
 
 use crate::arena::NodeId;
 use crate::key::Key;
 use crate::stats::Stats;
 use crate::tree::BpTree;
+use std::ops::{Bound, RangeBounds};
 
-/// Result of a range lookup, including the leaf-access count the paper's
-/// Fig 10c reports.
+/// Eagerly materialized range scan, including the leaf-access count the
+/// paper's Fig 10c reports. Produced by [`BpTree::range_with_stats`].
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RangeResult<K, V> {
+pub struct RangeScan<K, V> {
     /// Matching `(key, value)` pairs in key order.
     pub entries: Vec<(K, V)>,
     /// Leaf nodes touched by the scan.
     pub leaf_accesses: u64,
 }
 
-impl<K: Key, V: Clone> BpTree<K, V> {
-    /// All entries with keys in `[start, end)`, in key order, plus the
-    /// number of leaves the scan touched.
-    pub fn range(&self, start: K, end: K) -> RangeResult<K, V> {
-        Stats::bump(&self.stats.range_scans);
-        let mut entries = Vec::new();
-        let mut leaf_accesses = 0u64;
-        if start >= end || self.is_empty() {
-            return RangeResult {
-                entries,
-                leaf_accesses,
-            };
-        }
-        let (mut leaf_id, _, _, node_accesses) = self.descend(start);
-        Stats::add(&self.stats.lookup_node_accesses, node_accesses);
-        leaf_accesses += 1;
-        // A duplicate run equal to `start` may extend into earlier leaves.
-        loop {
-            let leaf = self.arena.get(leaf_id).as_leaf();
-            let back = leaf.keys.first().is_some_and(|&k| k >= start)
-                && leaf.prev.is_some_and(|p| {
-                    self.arena
-                        .get(p)
-                        .as_leaf()
-                        .keys
-                        .last()
-                        .is_some_and(|&k| k >= start)
-                });
-            if !back {
-                break;
-            }
-            leaf_id = leaf.prev.expect("checked above");
-            leaf_accesses += 1;
-        }
-        let mut pos = {
-            let leaf = self.arena.get(leaf_id).as_leaf();
-            leaf.keys.partition_point(|k| *k < start)
-        };
-        let mut current = Some(leaf_id);
-        'scan: while let Some(id) = current {
-            let leaf = self.arena.get(id).as_leaf();
-            while pos < leaf.keys.len() {
-                let k = leaf.keys[pos];
-                if k >= end {
-                    break 'scan;
-                }
-                entries.push((k, leaf.vals[pos].clone()));
-                pos += 1;
-            }
-            current = leaf.next;
-            if current.is_some() {
-                leaf_accesses += 1;
-            }
-            pos = 0;
-        }
-        Stats::add(&self.stats.range_leaf_accesses, leaf_accesses);
-        RangeResult {
-            entries,
-            leaf_accesses,
-        }
+fn copy_bound<K: Copy>(b: Bound<&K>) -> Bound<K> {
+    match b {
+        Bound::Included(&k) => Bound::Included(k),
+        Bound::Excluded(&k) => Bound::Excluded(k),
+        Bound::Unbounded => Bound::Unbounded,
     }
+}
 
-    /// Number of entries in `[start, end)` without materializing values.
-    pub fn range_count(&self, start: K, end: K) -> usize {
-        self.range(start, end).entries.len()
+/// True when no key can satisfy both bounds.
+fn bounds_empty<K: Ord>(start: Bound<&K>, end: Bound<&K>) -> bool {
+    match (start, end) {
+        (Bound::Included(s), Bound::Included(e)) => s > e,
+        (Bound::Included(s), Bound::Excluded(e))
+        | (Bound::Excluded(s), Bound::Included(e))
+        | (Bound::Excluded(s), Bound::Excluded(e)) => s >= e,
+        _ => false,
+    }
+}
+
+fn end_admits<K: Ord>(key: &K, end: &Bound<K>) -> bool {
+    match end {
+        Bound::Included(e) => key <= e,
+        Bound::Excluded(e) => key < e,
+        Bound::Unbounded => true,
     }
 }
 
 impl<K: Key, V> BpTree<K, V> {
-    /// Lazy, non-materializing iterator over entries with keys in
-    /// `[start, end)`. Unlike [`BpTree::range`] it borrows values instead of
-    /// cloning them and does not count leaf accesses.
-    pub fn range_iter(&self, start: K, end: K) -> RangeIter<'_, K, V> {
-        if start >= end || self.is_empty() {
+    /// Lazy iterator over the entries within `bounds`, in key order,
+    /// yielding `(key, &value)`.
+    ///
+    /// Accepts every range shape: `index.range(3..7)`, `range(3..=7)`,
+    /// `range(..7)`, `range(3..)`, `range(..)`. The scan descends once,
+    /// walks the leaf chain, and stops at the first key past the end bound;
+    /// nothing is allocated and values are borrowed.
+    ///
+    /// Leaf accesses are tracked on the iterator ([`RangeIter::leaf_accesses`])
+    /// but only [`BpTree::range_with_stats`] folds them into [`Stats`],
+    /// since a partially consumed lazy scan would under-report.
+    pub fn range<R: RangeBounds<K>>(&self, bounds: R) -> RangeIter<'_, K, V> {
+        Stats::bump(&self.stats.range_scans);
+        let end = copy_bound(bounds.end_bound());
+        if self.is_empty() || bounds_empty(bounds.start_bound(), bounds.end_bound()) {
             return RangeIter {
                 tree: self,
                 leaf: None,
                 pos: 0,
                 end,
+                leaf_accesses: 0,
             };
         }
-        let (mut leaf_id, _, _, _) = self.descend(start);
-        // Walk back through a duplicate run equal to `start`.
-        loop {
-            let leaf = self.arena.get(leaf_id).as_leaf();
-            let back = leaf.keys.first().is_some_and(|&k| k >= start)
-                && leaf.prev.is_some_and(|p| {
-                    self.arena
-                        .get(p)
-                        .as_leaf()
-                        .keys
-                        .last()
-                        .is_some_and(|&k| k >= start)
-                });
-            if !back {
-                break;
-            }
-            leaf_id = leaf.prev.expect("checked above");
-        }
-        let pos = self
-            .arena
-            .get(leaf_id)
-            .as_leaf()
-            .keys
-            .partition_point(|k| *k < start);
+        let (leaf, pos, leaf_accesses) = self.seek_start(bounds.start_bound());
         RangeIter {
             tree: self,
-            leaf: Some(leaf_id),
+            leaf: Some(leaf),
             pos,
             end,
+            leaf_accesses,
         }
+    }
+
+    /// Locates the first leaf/slot admitted by `start`; returns the leaf,
+    /// the slot, and the number of leaves touched getting there.
+    fn seek_start(&self, start: Bound<&K>) -> (NodeId, usize, u64) {
+        match start {
+            Bound::Unbounded => (self.head, 0, 1),
+            Bound::Included(&s) => {
+                let (mut leaf_id, _, _, node_accesses) = self.descend(s);
+                Stats::add(&self.stats.lookup_node_accesses, node_accesses);
+                let mut leaf_accesses = 1u64;
+                // A duplicate run equal to `s` may extend into earlier leaves.
+                loop {
+                    let leaf = self.arena.get(leaf_id).as_leaf();
+                    let back = leaf.keys.first().is_some_and(|&k| k >= s)
+                        && leaf.prev.is_some_and(|p| {
+                            self.arena
+                                .get(p)
+                                .as_leaf()
+                                .keys
+                                .last()
+                                .is_some_and(|&k| k >= s)
+                        });
+                    if !back {
+                        break;
+                    }
+                    leaf_id = leaf.prev.expect("checked above");
+                    leaf_accesses += 1;
+                }
+                let pos = self
+                    .arena
+                    .get(leaf_id)
+                    .as_leaf()
+                    .keys
+                    .partition_point(|k| *k < s);
+                (leaf_id, pos, leaf_accesses)
+            }
+            Bound::Excluded(&s) => {
+                // First entry strictly greater than `s`: right-biased descent
+                // lands on the last leaf that can hold `s`, so no duplicate
+                // back-walk is needed; if the whole leaf is `<= s` the scan
+                // naturally rolls into the next leaf.
+                let (leaf_id, _, _, node_accesses) = self.descend(s);
+                Stats::add(&self.stats.lookup_node_accesses, node_accesses);
+                let pos = self
+                    .arena
+                    .get(leaf_id)
+                    .as_leaf()
+                    .keys
+                    .partition_point(|k| *k <= s);
+                (leaf_id, pos, 1)
+            }
+        }
+    }
+
+    /// Number of entries within `bounds` without materializing values.
+    pub fn range_count<R: RangeBounds<K>>(&self, bounds: R) -> usize {
+        self.range(bounds).count()
     }
 
     /// Iterates every `(key, &value)` entry in key order via the leaf chain.
@@ -145,12 +158,38 @@ impl<K: Key, V> BpTree<K, V> {
     }
 }
 
-/// Lazy iterator over a key range. See [`BpTree::range_iter`].
+impl<K: Key, V: Clone> BpTree<K, V> {
+    /// Materialized range scan with the leaf-access count the paper's
+    /// Fig 10c reports. Also accumulates `range_leaf_accesses` in [`Stats`].
+    pub fn range_with_stats<R: RangeBounds<K>>(&self, bounds: R) -> RangeScan<K, V> {
+        let mut iter = self.range(bounds);
+        let mut entries = Vec::new();
+        for (k, v) in iter.by_ref() {
+            entries.push((k, v.clone()));
+        }
+        let leaf_accesses = iter.leaf_accesses();
+        Stats::add(&self.stats.range_leaf_accesses, leaf_accesses);
+        RangeScan {
+            entries,
+            leaf_accesses,
+        }
+    }
+}
+
+/// Lazy iterator over a key range. See [`BpTree::range`].
 pub struct RangeIter<'a, K, V> {
     tree: &'a BpTree<K, V>,
     leaf: Option<NodeId>,
     pos: usize,
-    end: K,
+    end: Bound<K>,
+    leaf_accesses: u64,
+}
+
+impl<K: Key, V> RangeIter<'_, K, V> {
+    /// Leaf nodes touched so far (including the seek to the start bound).
+    pub fn leaf_accesses(&self) -> u64 {
+        self.leaf_accesses
+    }
 }
 
 impl<'a, K: Key, V> Iterator for RangeIter<'a, K, V> {
@@ -162,7 +201,7 @@ impl<'a, K: Key, V> Iterator for RangeIter<'a, K, V> {
             let leaf = self.tree.arena.get(id).as_leaf();
             if self.pos < leaf.keys.len() {
                 let k = leaf.keys[self.pos];
-                if k >= self.end {
+                if !end_admits(&k, &self.end) {
                     self.leaf = None;
                     return None;
                 }
@@ -171,6 +210,9 @@ impl<'a, K: Key, V> Iterator for RangeIter<'a, K, V> {
                 return Some(item);
             }
             self.leaf = leaf.next;
+            if self.leaf.is_some() {
+                self.leaf_accesses += 1;
+            }
             self.pos = 0;
         }
     }
@@ -218,7 +260,7 @@ mod tests {
     #[test]
     fn range_middle() {
         let t = filled(FastPathMode::None, 100);
-        let r = t.range(10, 20);
+        let r = t.range_with_stats(10..20);
         assert_eq!(r.entries.len(), 10);
         assert_eq!(r.entries[0], (10, 100));
         assert_eq!(r.entries[9], (19, 190));
@@ -228,22 +270,46 @@ mod tests {
     #[test]
     fn range_empty_and_degenerate() {
         let t = filled(FastPathMode::None, 100);
-        assert!(t.range(20, 10).entries.is_empty());
-        assert!(t.range(15, 15).entries.is_empty());
-        assert!(t.range(1000, 2000).entries.is_empty());
+        use std::ops::Bound;
+        let reversed = (Bound::Included(20u64), Bound::Excluded(10u64));
+        assert_eq!(t.range(reversed).count(), 0);
+        assert_eq!(t.range(15..15).count(), 0);
+        assert_eq!(t.range(1000..2000).count(), 0);
         let empty: BpTree<u64, u64> = BpTree::with_config(FastPathMode::None, TreeConfig::small(8));
-        assert!(empty.range(0, 10).entries.is_empty());
+        assert_eq!(empty.range(0..10).count(), 0);
+        assert_eq!(empty.range(..).count(), 0);
     }
 
     #[test]
     fn range_full_span() {
         let t = filled(FastPathMode::Pole, 500);
-        let r = t.range(0, 500);
+        let r = t.range_with_stats(0..500);
         assert_eq!(r.entries.len(), 500);
         for (i, (k, v)) in r.entries.iter().enumerate() {
             assert_eq!(*k, i as u64);
             assert_eq!(*v, i as u64 * 10);
         }
+        assert_eq!(t.range(..).count(), 500);
+    }
+
+    #[test]
+    fn all_six_bound_shapes() {
+        let t = filled(FastPathMode::Pole, 100);
+        let keys =
+            |it: crate::iter::RangeIter<'_, u64, u64>| -> Vec<u64> { it.map(|(k, _)| k).collect() };
+        assert_eq!(keys(t.range(10..13)), vec![10, 11, 12]);
+        assert_eq!(keys(t.range(10..=13)), vec![10, 11, 12, 13]);
+        assert_eq!(keys(t.range(..3)), vec![0, 1, 2]);
+        assert_eq!(keys(t.range(..=3)), vec![0, 1, 2, 3]);
+        assert_eq!(keys(t.range(97..)), vec![97, 98, 99]);
+        assert_eq!(t.range(..).count(), 100);
+        use std::ops::Bound;
+        // Excluded start via explicit bounds.
+        let got: Vec<u64> = t
+            .range((Bound::Excluded(10u64), Bound::Included(13u64)))
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(got, vec![11, 12, 13]);
     }
 
     #[test]
@@ -254,10 +320,15 @@ mod tests {
         }
         t.insert(1, 0);
         t.insert(9, 0);
-        let r = t.range(5, 6);
-        assert_eq!(r.entries.len(), 20, "all duplicates must be returned");
-        let r = t.range(0, 10);
-        assert_eq!(r.entries.len(), 22);
+        assert_eq!(t.range(5..6).count(), 20, "all duplicates must be returned");
+        assert_eq!(t.range(0..10).count(), 22);
+        // Excluded start skips the entire duplicate run, across leaves.
+        use std::ops::Bound;
+        let past: Vec<u64> = t
+            .range((Bound::Excluded(5u64), Bound::Unbounded))
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(past, vec![9]);
     }
 
     #[test]
@@ -266,8 +337,8 @@ mod tests {
         // selectivity touches fewer leaves.
         let quit = filled(FastPathMode::Pole, 4000);
         let classic = filled(FastPathMode::None, 4000);
-        let rq = quit.range(1000, 2000);
-        let rc = classic.range(1000, 2000);
+        let rq = quit.range_with_stats(1000..2000);
+        let rc = classic.range_with_stats(1000..2000);
         assert_eq!(rq.entries, rc.entries);
         assert!(
             rq.leaf_accesses < rc.leaf_accesses,
@@ -287,36 +358,43 @@ mod tests {
     }
 
     #[test]
-    fn range_iter_matches_range() {
+    fn lazy_range_matches_eager() {
         let t = filled(FastPathMode::Pole, 1000);
-        let lazy: Vec<(u64, u64)> = t.range_iter(100, 500).map(|(k, v)| (k, *v)).collect();
-        let eager = t.range(100, 500).entries;
+        let lazy: Vec<(u64, u64)> = t.range(100..500).map(|(k, v)| (k, *v)).collect();
+        let eager = t.range_with_stats(100..500).entries;
         assert_eq!(lazy, eager);
-        assert_eq!(t.range_iter(5, 5).count(), 0);
-        assert_eq!(t.range_iter(2000, 3000).count(), 0);
-        let empty: BpTree<u64, u64> = BpTree::with_config(FastPathMode::None, TreeConfig::small(8));
-        assert_eq!(empty.range_iter(0, 100).count(), 0);
+        assert_eq!(t.range(5..5).count(), 0);
+        assert_eq!(t.range(2000..3000).count(), 0);
     }
 
     #[test]
-    fn range_iter_is_lazy_over_duplicates() {
+    fn range_is_lazy_over_duplicates() {
         let mut t: BpTree<u64, u64> = BpTree::with_config(FastPathMode::None, TreeConfig::small(4));
         for i in 0..30u64 {
             t.insert(7, i);
         }
         t.insert(1, 0);
-        assert_eq!(t.range_iter(7, 8).count(), 30);
+        assert_eq!(t.range(7..8).count(), 30);
         // take() stops early without scanning the rest.
-        assert_eq!(t.range_iter(0, 100).take(3).count(), 3);
+        assert_eq!(t.range(0..100).take(3).count(), 3);
     }
 
     #[test]
     fn range_stats_accumulate() {
         let t = filled(FastPathMode::None, 100);
         t.stats().reset();
-        let _ = t.range(0, 50);
-        let _ = t.range(50, 100);
+        let _ = t.range_with_stats(0..50);
+        let _ = t.range_with_stats(50..100);
         assert_eq!(t.stats().range_scans.get(), 2);
         assert!(t.stats().range_leaf_accesses.get() > 0);
+    }
+
+    #[test]
+    fn range_count_bound_shapes() {
+        let t = filled(FastPathMode::None, 50);
+        assert_eq!(t.range_count(0..50), 50);
+        assert_eq!(t.range_count(0..=49), 50);
+        assert_eq!(t.range_count(10..20), 10);
+        assert_eq!(t.range_count(..), 50);
     }
 }

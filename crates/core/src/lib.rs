@@ -35,9 +35,25 @@
 //!     index.insert(key, "payload");
 //! }
 //! assert!(index.contains_key(4));
-//! assert_eq!(index.range(3, 7).entries.len(), 4);
+//! assert_eq!(index.range(3..7).count(), 4);
 //! let s = index.stats();
 //! assert!(s.fast_inserts.get() > s.top_inserts.get());
+//! ```
+//!
+//! Batches with sorted runs ingest even faster through
+//! [`BpTree::insert_batch`], which validates each run against the fast-path
+//! window once and appends it wholesale. Every index family in the workspace
+//! — this crate's [`BpTree`], `quit-concurrent`'s tree, and `sware`'s
+//! buffered tree — implements the [`SortedIndex`] trait, so harnesses and
+//! applications can be written once:
+//!
+//! ```
+//! use quit_core::{BpTree, SortedIndex};
+//!
+//! let mut index: BpTree<u64, u64> = BpTree::quit();
+//! index.insert_batch(&(0..1000u64).map(|k| (k, k)).collect::<Vec<_>>());
+//! assert_eq!(SortedIndex::len(&index), 1000);
+//! assert_eq!(index.range(10..=12).count(), 3);
 //! ```
 //!
 //! ## Choosing a variant
@@ -75,6 +91,7 @@ mod key;
 mod node;
 mod ordered;
 mod snapshot;
+mod sorted_index;
 mod split;
 mod stats;
 mod tree;
@@ -86,9 +103,10 @@ pub use config::{SplitBoundRule, TreeConfig};
 pub use cursor::Cursor;
 pub use fastpath::{FastPathMode, FastPathState};
 pub use ikr::{ikr_bound, is_outlier, split_bound};
-pub use iter::{RangeIter, RangeResult, TreeIter};
+pub use iter::{RangeIter, RangeScan, TreeIter};
 pub use key::{Key, OrderedF64};
 pub use snapshot::TreeSnapshot;
+pub use sorted_index::SortedIndex;
 pub use stats::{MemoryReport, Stats, StatsSnapshot};
 pub use tree::{BpTree, FastPathInfo};
 pub use validate::InvariantViolation;

@@ -4,8 +4,8 @@
 //! insertion history that produced the snapshot; the fast path re-arms at
 //! the tail and ingestion resumes seamlessly.
 //!
-//! With the `serde` feature enabled, [`TreeSnapshot`] (de)serializes with
-//! any serde format, giving durable on-disk persistence for free.
+//! [`TreeSnapshot`] is a plain-data struct (mode + config + sorted entries),
+//! so callers can persist it with any encoding they already have on hand.
 
 use crate::config::TreeConfig;
 use crate::fastpath::FastPathMode;
@@ -14,7 +14,6 @@ use crate::tree::BpTree;
 
 /// A portable, self-contained snapshot of an index.
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TreeSnapshot<K, V> {
     /// Fast-path mode the tree ran with.
     pub mode: FastPathMode,
@@ -130,17 +129,5 @@ mod tests {
         let restored = BpTree::from_snapshot(snap);
         assert!(restored.is_empty());
         restored.check_invariants().unwrap();
-    }
-
-    #[cfg(feature = "serde")]
-    #[test]
-    fn serde_roundtrip() {
-        let t = build();
-        let snap = t.to_snapshot();
-        let json = serde_json::to_string(&snap).expect("serialize");
-        let back: TreeSnapshot<u64, u64> = serde_json::from_str(&json).expect("deserialize");
-        assert_eq!(back, snap);
-        let restored = BpTree::from_snapshot(back);
-        assert_eq!(restored.len(), t.len());
     }
 }

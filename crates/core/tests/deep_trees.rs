@@ -84,7 +84,7 @@ fn bulk_then_incremental_then_bulk() {
     t.append_sorted((2_000..2_500u64).map(|k| (k, k)));
     t.check_invariants().unwrap();
     assert_eq!(t.len(), 2_500);
-    assert_eq!(t.range_count(0, 3_000), 2_500);
+    assert_eq!(t.range_count(0..3_000), 2_500);
 }
 
 #[test]
@@ -145,7 +145,7 @@ fn duplicate_storms_at_minimum_capacity() {
     }
     t.check_invariants().unwrap();
     assert_eq!(t.get_all(42).len(), 300);
-    assert_eq!(t.range_count(41, 44), 900);
+    assert_eq!(t.range_count(41..44), 900);
     for _ in 0..300 {
         assert!(t.delete(42).is_some());
     }

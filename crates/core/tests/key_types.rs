@@ -22,7 +22,7 @@ fn signed_keys_with_negative_domain() {
     t.check_invariants().unwrap();
     assert!(t.contains_key(-5000));
     assert!(t.contains_key(4999));
-    assert_eq!(t.range(-10, 10).entries.len(), 20);
+    assert_eq!(t.range(-10..10).count(), 20);
     // Deletes across the sign boundary.
     for k in -100..100i64 {
         assert!(t.delete(k).is_some(), "key {k}");
@@ -56,8 +56,10 @@ fn float_keys_end_to_end() {
         t.stats().fast_insert_fraction()
     );
     // Range over a price band.
-    let band = t.range(OrderedF64::new(200.0), OrderedF64::new(300.0));
-    assert!(band.entries.windows(2).all(|w| w[0].0 <= w[1].0));
+    let band: Vec<_> = t
+        .range(OrderedF64::new(200.0)..OrderedF64::new(300.0))
+        .collect();
+    assert!(band.windows(2).all(|w| w[0].0 <= w[1].0));
     // Floor/ceiling on floats.
     if let Some((k, _)) = t.floor(OrderedF64::new(500.0)) {
         assert!(k <= OrderedF64::new(500.0));

@@ -213,18 +213,43 @@ impl<K: Key + Hash, V: Clone> SwareBuffer<K, V> {
     }
 
     /// All buffered entries in `[start, end)` (cracks overlapping pages).
-    pub fn range(&mut self, start: K, end: K) -> Vec<(K, V)> {
+    pub fn range<R: std::ops::RangeBounds<K>>(&mut self, bounds: R) -> Vec<(K, V)> {
+        use std::ops::Bound;
+        let start = bounds.start_bound().cloned();
+        let end = bounds.end_bound().cloned();
         let mut out = Vec::new();
         for page in &mut self.pages {
-            if !page.zone.is_some_and(|z| z.overlaps(start, end)) {
+            // Zonemap prefilter: skip pages whose key span misses the bounds.
+            let overlaps = page.zone.is_some_and(|z| {
+                let above_start = match start {
+                    Bound::Unbounded => true,
+                    Bound::Included(s) => z.max >= s,
+                    Bound::Excluded(s) => z.max > s,
+                };
+                let below_end = match end {
+                    Bound::Unbounded => true,
+                    Bound::Included(e) => z.min <= e,
+                    Bound::Excluded(e) => z.min < e,
+                };
+                above_start && below_end
+            });
+            if !overlaps {
                 continue;
             }
             if !page.sorted {
                 self.stats.pages_cracked += 1;
                 page.ensure_sorted();
             }
-            let lo = page.entries.partition_point(|e| e.0 < start);
-            let hi = page.entries.partition_point(|e| e.0 < end);
+            let lo = match start {
+                Bound::Unbounded => 0,
+                Bound::Included(s) => page.entries.partition_point(|e| e.0 < s),
+                Bound::Excluded(s) => page.entries.partition_point(|e| e.0 <= s),
+            };
+            let hi = match end {
+                Bound::Unbounded => page.entries.len(),
+                Bound::Included(e) => page.entries.partition_point(|e2| e2.0 <= e),
+                Bound::Excluded(e) => page.entries.partition_point(|e2| e2.0 < e),
+            };
             out.extend(page.entries[lo..hi].iter().cloned());
         }
         out.sort_by_key(|a| a.0);
@@ -362,7 +387,7 @@ mod tests {
         for k in 0..32u64 {
             b.insert(k, k);
         }
-        let r = b.range(10, 20);
+        let r = b.range(10..20);
         assert_eq!(r.len(), 10);
         assert_eq!(r[0].0, 10);
         assert_eq!(r[9].0, 19);

@@ -156,10 +156,21 @@ impl<K: Key + Hash, V: Clone> SaBpTree<K, V> {
         self.get(key).is_some()
     }
 
-    /// Range lookup over `[start, end)`: merges tree and buffer results.
-    pub fn range(&mut self, start: K, end: K) -> Vec<(K, V)> {
-        let mut out = self.tree.range(start, end).entries;
-        let buffered = self.buffer.range(start, end);
+    /// Range lookup over any bound shape (`a..b`, `a..=b`, `..`, ...):
+    /// merges tree and buffer results in key order.
+    pub fn range<R: std::ops::RangeBounds<K>>(&mut self, bounds: R) -> Vec<(K, V)> {
+        use std::ops::Bound;
+        fn own<K: Copy>(b: Bound<&K>) -> Bound<K> {
+            match b {
+                Bound::Included(&k) => Bound::Included(k),
+                Bound::Excluded(&k) => Bound::Excluded(k),
+                Bound::Unbounded => Bound::Unbounded,
+            }
+        }
+        // Materialize the bounds so both the tree and the buffer see them.
+        let b = (own(bounds.start_bound()), own(bounds.end_bound()));
+        let mut out: Vec<(K, V)> = self.tree.range(b).map(|(k, v)| (k, v.clone())).collect();
+        let buffered = self.buffer.range(b);
         if !buffered.is_empty() {
             out.extend(buffered);
             out.sort_by_key(|a| a.0);
@@ -199,6 +210,37 @@ impl<K: Key + Hash, V: Clone> SaBpTree<K, V> {
     /// Entries currently waiting in the buffer.
     pub fn buffered_len(&self) -> usize {
         self.buffer.len()
+    }
+}
+
+impl<K: Key + Hash, V: Clone> quit_core::SortedIndex<K, V> for SaBpTree<K, V> {
+    fn insert(&mut self, key: K, value: V) {
+        SaBpTree::insert(self, key, value);
+    }
+
+    fn get(&mut self, key: K) -> Option<V> {
+        SaBpTree::get(self, key)
+    }
+
+    fn delete(&mut self, key: K) -> Option<V> {
+        SaBpTree::delete(self, key)
+    }
+
+    fn range<R: std::ops::RangeBounds<K>>(
+        &mut self,
+        bounds: R,
+    ) -> impl Iterator<Item = (K, V)> + '_ {
+        SaBpTree::range(self, bounds).into_iter()
+    }
+
+    fn len(&self) -> usize {
+        SaBpTree::len(self)
+    }
+
+    fn stats_snapshot(&self) -> quit_core::StatsSnapshot {
+        // The SWARE-level counters live in `SwareStats`; the snapshot
+        // reports the underlying B+-tree's counters.
+        self.tree.stats().snapshot()
     }
 }
 
@@ -284,7 +326,7 @@ mod tests {
         // Some data flushed, some still buffered.
         assert!(t.buffered_len() > 0);
         assert!(!t.tree().is_empty());
-        let r = t.range(50, 150);
+        let r = t.range(50..150);
         assert_eq!(r.len(), 100);
         assert!(r.windows(2).all(|w| w[0].0 <= w[1].0));
     }

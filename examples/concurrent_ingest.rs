@@ -44,8 +44,9 @@ fn main() {
         "threads", "QuIT op/s", "B+-tree op/s", "ratio"
     );
     for threads in [1, 2, 4, 8] {
-        let (quit_tput, quit_tree) = ingest(&keys, threads, ConcConfig::quit());
-        let (classic_tput, _) = ingest(&keys, threads, ConcConfig::classic());
+        let (quit_tput, quit_tree) = ingest(&keys, threads, ConcConfig::paper_default());
+        let (classic_tput, _) =
+            ingest(&keys, threads, ConcConfig::paper_default().with_pole(false));
         println!(
             "{threads:>8} {:>13.2}M {:>13.2}M {:>7.2}x",
             quit_tput / 1e6,
@@ -62,8 +63,8 @@ fn main() {
             );
             // Readers run concurrently with no coordination beyond the
             // shared locks.
-            let sample = quit_tree.range(1000, 1100);
-            println!("range [1000, 1100) sees {} entries", sample.len());
+            let sample = quit_tree.range(1000..1100).count();
+            println!("range [1000, 1100) sees {sample} entries");
         }
     }
 }

@@ -52,7 +52,7 @@ fn main() {
     // [p25, p75) of its final price.
     let last = *ticks.last().expect("non-empty");
     let (lo, hi) = (last / 4, last * 3 / 4);
-    let band = by_price.range(lo, hi);
+    let band = by_price.range_with_stats(lo..hi);
     println!(
         "bars traded in [{:.2}, {:.2}): {} ({} leaf accesses)",
         lo as f64 / 100.0,

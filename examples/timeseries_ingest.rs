@@ -38,12 +38,12 @@ fn main() {
     println!("\nevents per window:");
     for w in 0..10 {
         let (lo, hi) = (w * 50_000, (w + 1) * 50_000);
-        let count = index.range_count(lo, hi);
+        let count = index.range_count(lo..hi);
         println!("  [{lo:>7}, {hi:>7}): {count}");
     }
 
     // Retention: drop everything older than tick 100k, then keep ingesting.
-    let expired = index.range(0, 100_000).entries;
+    let expired: Vec<(u64, u64)> = index.range(0..100_000).map(|(k, v)| (k, *v)).collect();
     for (ts, _) in &expired {
         index.delete(*ts);
     }

@@ -10,8 +10,7 @@ use std::sync::Arc;
 
 #[test]
 fn heavy_mixed_load_ends_consistent() {
-    let tree: Arc<ConcurrentTree<u64, u64>> =
-        Arc::new(ConcurrentTree::new(ConcConfig::small(16, true)));
+    let tree: Arc<ConcurrentTree<u64, u64>> = Arc::new(ConcurrentTree::new(ConcConfig::small(16)));
     let writers = 6;
     let per = 5_000u64;
     let stop = Arc::new(AtomicBool::new(false));
@@ -36,7 +35,7 @@ fn heavy_mixed_load_ends_consistent() {
         readers.push(std::thread::spawn(move || {
             let mut observed_max = 0usize;
             while !stop.load(Ordering::Relaxed) {
-                let r = tree.range(0, u64::MAX);
+                let r: Vec<(u64, u64)> = tree.range(..).collect();
                 // Snapshot must always be sorted even mid-ingest.
                 assert!(r.windows(2).all(|a| a[0].0 <= a[1].0), "unsorted scan");
                 assert!(r.len() >= observed_max, "scan shrank");
@@ -71,8 +70,7 @@ fn contended_tail_inserts_keep_every_entry() {
     // All threads append to the same hot tail — the worst case §5.3 calls
     // out. Correctness must hold even when the fast path constantly
     // collides.
-    let tree: Arc<ConcurrentTree<u64, u64>> =
-        Arc::new(ConcurrentTree::new(ConcConfig::small(8, true)));
+    let tree: Arc<ConcurrentTree<u64, u64>> = Arc::new(ConcurrentTree::new(ConcConfig::small(8)));
     let threads = 8u64;
     let per = 4_000u64;
     std::thread::scope(|s| {
@@ -103,7 +101,7 @@ fn classic_and_quit_modes_agree_under_concurrency() {
         .into_iter()
         .map(|pole| {
             let tree: Arc<ConcurrentTree<u64, u64>> =
-                Arc::new(ConcurrentTree::new(ConcConfig::small(32, pole)));
+                Arc::new(ConcurrentTree::new(ConcConfig::small(32).with_pole(pole)));
             std::thread::scope(|s| {
                 for t in 0..4 {
                     let tree = tree.clone();

@@ -53,8 +53,8 @@ fn all_variants_agree_on_reads() {
                 );
             }
             for &(s, e) in &ranges {
-                let got: Vec<u64> = t.range(s, e).entries.iter().map(|x| x.0).collect();
-                let want: Vec<u64> = reference.range(s, e).entries.iter().map(|x| x.0).collect();
+                let got: Vec<u64> = t.range(s..e).map(|(k, _)| k).collect();
+                let want: Vec<u64> = reference.range(s..e).map(|(k, _)| k).collect();
                 assert_eq!(got, want, "{name}/{v:?} range({s},{e})");
             }
         }
@@ -79,8 +79,8 @@ fn sware_agrees_with_classic_tree() {
             );
         }
         for (s, e) in [(100u64, 400u64), (10_000, 12_000)] {
-            let got: Vec<u64> = sa.range(s, e).iter().map(|x| x.0).collect();
-            let want: Vec<u64> = classic.range(s, e).entries.iter().map(|x| x.0).collect();
+            let got: Vec<u64> = sa.range(s..e).iter().map(|x| x.0).collect();
+            let want: Vec<u64> = classic.range(s..e).map(|(k, _)| k).collect();
             assert_eq!(got, want, "{name} range({s},{e})");
         }
         sa.tree().check_invariants().unwrap();
@@ -104,13 +104,8 @@ fn concurrent_tree_agrees_with_classic_tree() {
                 "{name} get({p})"
             );
         }
-        let got: Vec<u64> = conc.range(5_000, 6_000).iter().map(|x| x.0).collect();
-        let want: Vec<u64> = classic
-            .range(5_000, 6_000)
-            .entries
-            .iter()
-            .map(|x| x.0)
-            .collect();
+        let got: Vec<u64> = conc.range(5_000..6_000).map(|(k, _)| k).collect();
+        let want: Vec<u64> = classic.range(5_000..6_000).map(|(k, _)| k).collect();
         assert_eq!(got, want, "{name} range");
     }
 }

@@ -100,8 +100,8 @@ fn quit_ranges_touch_fewer_leaves() {
     let mut leaf_c = 0u64;
     let mut leaf_q = 0u64;
     for start in (0..n as u64 - 3000).step_by(n / 50) {
-        let rc = classic.range(start, start + 3000);
-        let rq = quit.range(start, start + 3000);
+        let rc = classic.range_with_stats(start..start + 3000);
+        let rq = quit.range_with_stats(start..start + 3000);
         assert_eq!(rc.entries.len(), rq.entries.len());
         leaf_c += rc.leaf_accesses;
         leaf_q += rq.leaf_accesses;

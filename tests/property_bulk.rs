@@ -147,7 +147,7 @@ proptest! {
             }
             via_cursor.push(k);
         }
-        let via_range: Vec<u64> = t.range(start, end).entries.iter().map(|e| e.0).collect();
+        let via_range: Vec<u64> = t.range(start..end).map(|(k, _)| k).collect();
         prop_assert_eq!(via_cursor, via_range);
     }
 }

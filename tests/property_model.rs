@@ -82,7 +82,7 @@ fn run_ops(variant: Variant, leaf_cap: usize, ops: &[Op]) {
                 );
             }
             Op::Range(s, e) => {
-                let got: Vec<u64> = tree.range(s, e).entries.iter().map(|x| x.0).collect();
+                let got: Vec<u64> = tree.range(s..e).map(|(k, _)| k).collect();
                 let want = model.range_keys(s, e);
                 assert_eq!(got, want, "op {i}: range({s},{e}) mismatch ({variant:?})");
             }
@@ -134,6 +134,75 @@ proptest! {
         cap in 4usize..40,
     ) {
         run_ops(Variant::Quit, cap, &ops);
+    }
+
+    /// Lazy `range` agrees with the `BTreeMap` model for every one of the
+    /// six `(start, end)` bound shapes, across all variants.
+    #[test]
+    fn range_bounds_match_model(
+        keys in prop::collection::vec(0..512u64, 1..400),
+        s in 0..512u64,
+        w in 0..96u64,
+    ) {
+        use std::ops::Bound;
+        let e = s.saturating_add(w);
+        for variant in [Variant::Classic, Variant::Quit, Variant::Tail] {
+            let mut tree = variant.build::<u64, u64>(TreeConfig::small(6));
+            let mut model: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+            for (i, &k) in keys.iter().enumerate() {
+                tree.insert(k, i as u64);
+                model.entry(k).or_default().push(i as u64);
+            }
+            let shapes: [(Bound<u64>, Bound<u64>); 6] = [
+                (Bound::Included(s), Bound::Included(e)),
+                (Bound::Included(s), Bound::Excluded(e)),
+                (Bound::Included(s), Bound::Unbounded),
+                (Bound::Excluded(s), Bound::Excluded(e)),
+                (Bound::Excluded(s), Bound::Unbounded),
+                (Bound::Unbounded, Bound::Excluded(e)),
+            ];
+            for bounds in shapes {
+                let got: Vec<u64> = tree.range(bounds).map(|(k, _)| k).collect();
+                let want: Vec<u64> = model
+                    .range(bounds)
+                    .flat_map(|(k, vs)| std::iter::repeat_n(*k, vs.len()))
+                    .collect();
+                prop_assert_eq!(got, want, "bounds {:?} ({:?})", bounds, variant);
+            }
+        }
+    }
+
+    /// `insert_batch` produces the same final contents as a per-key insert
+    /// loop, and never takes the fast path less often, for any K%-sorted
+    /// stream (Sec. 5's BoDS disorder knob).
+    #[test]
+    fn insert_batch_matches_per_key(
+        k_milli in 0usize..500,
+        n in 100usize..1500,
+        seed in any::<u64>(),
+    ) {
+        let keys = quick_insertion_tree::bods::BodsSpec::new(n, k_milli as f64 / 1000.0, 1.0)
+            .with_seed(seed)
+            .generate();
+        let entries: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+
+        let mut loop_tree = Variant::Quit.build::<u64, u64>(TreeConfig::small(8));
+        for &(k, v) in &entries {
+            loop_tree.insert(k, v);
+        }
+        let mut batch_tree = Variant::Quit.build::<u64, u64>(TreeConfig::small(8));
+        batch_tree.insert_batch(&entries);
+
+        prop_assert_eq!(batch_tree.len(), loop_tree.len());
+        let a: Vec<(u64, u64)> = batch_tree.iter().map(|(k, v)| (k, *v)).collect();
+        let b: Vec<(u64, u64)> = loop_tree.iter().map(|(k, v)| (k, *v)).collect();
+        prop_assert_eq!(a, b, "batched vs per-key contents diverge");
+        batch_tree.check_invariants().unwrap();
+        prop_assert!(
+            batch_tree.stats().snapshot().fast_inserts
+                >= loop_tree.stats().snapshot().fast_inserts,
+            "batching must not reduce fast-path usage"
+        );
     }
 
     /// Sorted-ish streams with injected disorder, ingested then drained.

@@ -119,7 +119,7 @@ fn duplicate_keys_survive_flush_cycles() {
     }
     sa.flush_all();
     assert_eq!(sa.len(), 2000);
-    let r = sa.range(10, 11);
+    let r = sa.range(10..11);
     assert_eq!(r.len(), 50, "all duplicates of key 10");
     sa.tree().check_invariants().unwrap();
 }

@@ -1,0 +1,222 @@
+//! Offline stand-in for the subset of `criterion` 0.5 this workspace uses.
+//!
+//! The build environment cannot download crates, so the workspace vendors a
+//! minimal wall-clock harness with the same API shape: benchmark groups,
+//! `bench_with_input` / `bench_function`, throughput annotation, and the
+//! `criterion_group!` / `criterion_main!` macros. Instead of criterion's
+//! statistical sampling it runs a short calibration pass, then reports the
+//! best-of-`sample_size` mean iteration time — adequate for the relative
+//! comparisons the workspace's benches make, with no external dependencies.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, mirroring `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+}
+
+/// Unit used to report per-iteration throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Number of timed samples per benchmark (best is reported).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times `f` with access to `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut best = Duration::MAX;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                per_iter: Duration::ZERO,
+            };
+            f(&mut b, input);
+            best = best.min(b.per_iter);
+        }
+        self.report(&id.id, best);
+        self
+    }
+
+    /// Times a closure with no external input.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut best = Duration::MAX;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                per_iter: Duration::ZERO,
+            };
+            f(&mut b);
+            best = best.min(b.per_iter);
+        }
+        self.report(&id.to_string(), best);
+        self
+    }
+
+    /// Ends the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, per_iter: Duration) {
+        let ns = per_iter.as_nanos() as f64;
+        match self.throughput {
+            Some(Throughput::Elements(n)) if n > 0 && ns > 0.0 => {
+                let rate = n as f64 / per_iter.as_secs_f64();
+                println!(
+                    "{}/{id}: {ns:.0} ns/iter ({:.2} Melem/s)",
+                    self.name,
+                    rate / 1e6
+                );
+            }
+            Some(Throughput::Bytes(n)) if n > 0 && ns > 0.0 => {
+                let rate = n as f64 / per_iter.as_secs_f64();
+                println!(
+                    "{}/{id}: {ns:.0} ns/iter ({:.2} MiB/s)",
+                    self.name,
+                    rate / (1024.0 * 1024.0)
+                );
+            }
+            _ => println!("{}/{id}: {ns:.0} ns/iter", self.name),
+        }
+    }
+}
+
+/// Runs and times the benchmarked routine.
+pub struct Bencher {
+    per_iter: Duration,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly and records the mean wall-clock time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration: run once to estimate cost, then size the timed batch
+        // so it lasts long enough for the clock to resolve it.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.per_iter = t1.elapsed() / iters;
+    }
+}
+
+/// Bundles benchmark functions into a callable group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running each group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(2);
+        let mut ran = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+            ran += 1;
+        });
+        group.bench_function("trivial", |b| b.iter(|| 1 + 1));
+        group.finish();
+        assert_eq!(ran, 2);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}
