@@ -8,7 +8,7 @@
 
 use bods::BodsSpec;
 use quit_bench::{ingest_index, ingest_index_batch, pct, print_table, Opts};
-use quit_core::{SortedIndex, Variant};
+use quit_core::Variant;
 
 fn main() {
     let opts = Opts::from_args();
@@ -37,7 +37,7 @@ fn main() {
                 format!("{speedup:.2}x"),
             ]);
             if variant == Variant::Quit {
-                let s = batched.tree.stats_snapshot();
+                let s = batched.tree.metrics();
                 row.push(format!(
                     "{:.0}",
                     100.0 * s.fast_inserts as f64 / (s.fast_inserts + s.top_inserts).max(1) as f64

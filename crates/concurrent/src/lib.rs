@@ -36,4 +36,4 @@ mod sync;
 mod tree;
 
 pub use node::{CNode, NodeRef};
-pub use tree::{ConcConfig, ConcRangeIter, ConcStats, ConcurrentTree};
+pub use tree::{ConcConfig, ConcRangeIter, ConcurrentTree};

@@ -20,9 +20,9 @@
 
 use crate::node::{CNode, NodeRef};
 use crate::sync::{ArcRwLockReadGuard, ArcRwLockWriteGuard, Mutex, RwLock};
-use quit_core::{ikr_bound, Key};
+use quit_core::{ikr_bound, Key, MetricsLevel, MetricsRegistry, Stats, StatsSnapshot};
 use std::ops::{Bound, RangeBounds};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 type WriteGuard<K, V> = ArcRwLockWriteGuard<CNode<K, V>>;
@@ -43,6 +43,10 @@ pub struct ConcConfig {
     /// Consecutive top-inserts before the fast path resets (`T_R` in §4.3).
     /// `None` disables the reset strategy.
     pub reset_threshold: Option<usize>,
+    /// How much telemetry the tree records (same semantics as
+    /// [`quit_core::TreeConfig::metrics_level`]). All counters are exact
+    /// under concurrency at every level.
+    pub metrics_level: MetricsLevel,
 }
 
 impl ConcConfig {
@@ -55,6 +59,7 @@ impl ConcConfig {
             ikr_scale: 1.5,
             pole_enabled: true,
             reset_threshold: Some(Self::default_reset_threshold(510)),
+            metrics_level: MetricsLevel::default(),
         }
     }
 
@@ -66,6 +71,7 @@ impl ConcConfig {
             ikr_scale: 1.5,
             pole_enabled: true,
             reset_threshold: Some(Self::default_reset_threshold(leaf_capacity)),
+            metrics_level: MetricsLevel::default(),
         }
     }
 
@@ -104,19 +110,10 @@ impl ConcConfig {
         self
     }
 
-    /// Paper geometry with the fast path enabled (concurrent QuIT).
-    #[deprecated(since = "0.2.0", note = "use `ConcConfig::paper_default()`")]
-    pub fn quit() -> Self {
-        Self::paper_default()
-    }
-
-    /// Paper geometry with the fast path disabled (concurrent B+-tree).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ConcConfig::paper_default().with_pole(false)`"
-    )]
-    pub fn classic() -> Self {
-        Self::paper_default().with_pole(false)
+    /// Builder-style override of the telemetry level.
+    pub fn with_metrics_level(mut self, level: MetricsLevel) -> Self {
+        self.metrics_level = level;
+        self
     }
 }
 
@@ -124,21 +121,6 @@ impl Default for ConcConfig {
     fn default() -> Self {
         Self::paper_default()
     }
-}
-
-/// Atomic operation counters.
-#[derive(Debug, Default)]
-pub struct ConcStats {
-    /// Inserts served by the fast path.
-    pub fast_inserts: AtomicU64,
-    /// Inserts that performed a full crabbing descent.
-    pub top_inserts: AtomicU64,
-    /// Point lookups served.
-    pub lookups: AtomicU64,
-    /// Fast-path resets.
-    pub fp_resets: AtomicU64,
-    /// Leaf splits.
-    pub leaf_splits: AtomicU64,
 }
 
 /// poℓe metadata, guarded by one mutex (the "lock on the fast-path
@@ -159,7 +141,10 @@ pub struct ConcurrentTree<K, V> {
     root: RwLock<NodeRef<K, V>>,
     config: ConcConfig,
     fp: Mutex<ConcFp<K, V>>,
-    stats: ConcStats,
+    /// Shared observability substrate — the same [`MetricsRegistry`] type
+    /// `quit-core`'s trees use; every update here takes the `_shared`
+    /// (`fetch_add`) flavour so counters are exact under concurrency.
+    metrics: MetricsRegistry,
     len: AtomicUsize,
 }
 
@@ -177,11 +162,12 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
             prev_size: 0,
             fails: 0,
         };
+        let metrics = MetricsRegistry::new(config.metrics_level);
         ConcurrentTree {
             root: RwLock::new(root),
             config,
             fp: Mutex::new(fp),
-            stats: ConcStats::default(),
+            metrics,
             len: AtomicUsize::new(0),
         }
     }
@@ -206,9 +192,28 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
         self.len() == 0
     }
 
-    /// Operation counters.
-    pub fn stats(&self) -> &ConcStats {
-        &self.stats
+    /// Operation counters — the same [`Stats`] block `quit-core` trees
+    /// expose, so harness code reads one vocabulary across families.
+    pub fn stats(&self) -> &Stats {
+        &self.metrics.counters
+    }
+
+    /// The full metrics registry: counters, latency histograms, and the
+    /// fast-path window.
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Point-in-time snapshot of everything the registry records.
+    pub fn metrics(&self) -> StatsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Fraction of the most recent inserts that took the fast path — the
+    /// live sortedness signal (approximate under concurrent writers; the
+    /// counter totals are exact).
+    pub fn recent_fastpath_rate(&self) -> f64 {
+        self.metrics.recent_fastpath_rate()
     }
 
     // ------------------------------------------------------------------
@@ -217,9 +222,13 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
 
     /// Inserts an entry (thread-safe).
     pub fn insert(&self, key: K, value: V) {
+        let t0 = self.metrics.op_timer();
         let (value, count_as_fast) = if self.config.pole_enabled {
             match self.try_fast_insert(key, value) {
-                FastAttempt::Done => return,
+                FastAttempt::Done => {
+                    self.metrics.record_insert_latency(t0);
+                    return;
+                }
                 // Covered key, full poℓe: the paper splits through fp_path
                 // and still accounts this as a fast-path insert; we crab
                 // from the root but preserve the accounting.
@@ -230,6 +239,7 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
             (value, false)
         };
         self.top_insert(key, value, count_as_fast);
+        self.metrics.record_insert_latency(t0);
     }
 
     /// The short-critical-section path: metadata mutex, then a single
@@ -272,7 +282,8 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
         fp.fails = 0;
         drop(g);
         self.len.fetch_add(1, Ordering::Relaxed);
-        self.stats.fast_inserts.fetch_add(1, Ordering::Relaxed);
+        self.metrics.counters.fast_inserts.bump_shared();
+        self.metrics.record_insert_outcome_shared(true);
         FastAttempt::Done
     }
 
@@ -320,7 +331,7 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
         let mut target_arc = current.clone();
         if self.node_unsafe_for_insert(&guard) {
             let (right_arc, sep, left_len, q) = self.split_leaf(&mut guard);
-            self.stats.leaf_splits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.counters.leaf_splits.bump_shared();
             leaf_split = Some(PoleSplitEvent {
                 left: current.clone(),
                 right: right_arc.clone(),
@@ -356,10 +367,11 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
         drop(guard);
         self.len.fetch_add(1, Ordering::Relaxed);
         if count_as_fast {
-            self.stats.fast_inserts.fetch_add(1, Ordering::Relaxed);
+            self.metrics.counters.fast_inserts.bump_shared();
         } else {
-            self.stats.top_inserts.fetch_add(1, Ordering::Relaxed);
+            self.metrics.counters.top_inserts.bump_shared();
         }
+        self.metrics.record_insert_outcome_shared(count_as_fast);
 
         if self.config.pole_enabled {
             self.update_pole_after_top_insert(
@@ -510,7 +522,7 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
         };
         if fp.fails >= reset_threshold {
             // §4.3 reset: adopt the leaf that accepted the latest insert.
-            self.stats.fp_resets.fetch_add(1, Ordering::Relaxed);
+            self.metrics.counters.fp_resets.bump_shared();
             fp.leaf = Some(target_arc);
             fp.min = target_low;
             fp.max = target_high;
@@ -559,6 +571,7 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
             let v = vals.remove(pos);
             drop(guard);
             self.len.fetch_sub(1, Ordering::Relaxed);
+            self.metrics.counters.deletes.bump_shared();
             Some(v)
         } else {
             None
@@ -571,7 +584,14 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
 
     /// Point lookup with shared-lock crabbing.
     pub fn get(&self, key: K) -> Option<V> {
-        self.stats.lookups.fetch_add(1, Ordering::Relaxed);
+        let t0 = self.metrics.op_timer();
+        self.metrics.counters.lookups.bump_shared();
+        let found = self.get_inner(key);
+        self.metrics.record_get_latency(t0);
+        found
+    }
+
+    fn get_inner(&self, key: K) -> Option<V> {
         let root_ptr = self.root.read();
         let root = root_ptr.clone();
         let mut guard = RwLock::read_arc(&root);
@@ -613,6 +633,7 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
     /// only — drop (or finish) the iterator promptly, and never insert into
     /// the same tree from the thread that holds an open scan.
     pub fn range<R: RangeBounds<K>>(&self, bounds: R) -> ConcRangeIter<K, V> {
+        self.metrics.counters.range_scans.bump_shared();
         let end = copy_bound(bounds.end_bound());
         if bounds_empty(bounds.start_bound(), bounds.end_bound()) {
             return ConcRangeIter {
@@ -762,11 +783,19 @@ impl<K: Key, V: Clone> quit_core::SortedIndex<K, V> for ConcurrentTree<K, V> {
     }
 
     fn range_with_stats<R: RangeBounds<K>>(&mut self, bounds: R) -> quit_core::RangeScan<K, V> {
+        let t0 = self.metrics.op_timer();
         let mut iter = ConcurrentTree::range(self, bounds);
         let entries: Vec<(K, V)> = iter.by_ref().collect();
+        let leaf_accesses = iter.leaf_accesses();
+        drop(iter);
+        self.metrics
+            .counters
+            .range_leaf_accesses
+            .add_shared(leaf_accesses);
+        self.metrics.record_range_latency(t0);
         quit_core::RangeScan {
             entries,
-            leaf_accesses: iter.leaf_accesses(),
+            leaf_accesses,
         }
     }
 
@@ -774,15 +803,12 @@ impl<K: Key, V: Clone> quit_core::SortedIndex<K, V> for ConcurrentTree<K, V> {
         ConcurrentTree::len(self)
     }
 
-    fn stats_snapshot(&self) -> quit_core::StatsSnapshot {
-        quit_core::StatsSnapshot {
-            fast_inserts: self.stats.fast_inserts.load(Ordering::Relaxed),
-            top_inserts: self.stats.top_inserts.load(Ordering::Relaxed),
-            lookups: self.stats.lookups.load(Ordering::Relaxed),
-            fp_resets: self.stats.fp_resets.load(Ordering::Relaxed),
-            leaf_splits: self.stats.leaf_splits.load(Ordering::Relaxed),
-            ..Default::default()
-        }
+    fn metrics(&self) -> StatsSnapshot {
+        ConcurrentTree::metrics(self)
+    }
+
+    fn reset_metrics(&self) {
+        self.metrics.reset();
     }
 }
 
@@ -833,8 +859,8 @@ mod tests {
         for k in 0..1000u64 {
             t.insert(k, k);
         }
-        let fast = t.stats().fast_inserts.load(Ordering::Relaxed);
-        let top = t.stats().top_inserts.load(Ordering::Relaxed);
+        let fast = t.stats().fast_inserts.get();
+        let top = t.stats().top_inserts.get();
         assert!(fast > top * 5, "fast {fast}, top {top}");
     }
 
@@ -845,7 +871,7 @@ mod tests {
         for k in 0..500u64 {
             t.insert(k, k);
         }
-        assert_eq!(t.stats().fast_inserts.load(Ordering::Relaxed), 0);
+        assert_eq!(t.stats().fast_inserts.get(), 0);
     }
 
     #[test]
@@ -1031,12 +1057,12 @@ mod tests {
         for k in 500..1500u64 {
             t.delete(k);
         }
-        let fast_before = t.stats().fast_inserts.load(Ordering::Relaxed);
+        let fast_before = t.stats().fast_inserts.get();
         for k in 2_000..3_000u64 {
             t.insert(k, k);
         }
         assert!(
-            t.stats().fast_inserts.load(Ordering::Relaxed) > fast_before + 800,
+            t.stats().fast_inserts.get() > fast_before + 800,
             "fast path must survive deletions"
         );
     }

@@ -238,7 +238,10 @@ impl<K: Key, V> BpTree<K, V> {
         self.len += take;
         self.fp.size = self.leaf_len(leaf_id);
         self.fp.fails = 0;
-        crate::stats::Stats::add(&self.stats.fast_inserts, take as u64);
+        crate::stats::Stats::add(&self.metrics.counters.fast_inserts, take as u64);
+        // One word-granular window update per leaf chunk keeps the batch
+        // path's per-entry cost amortized.
+        self.metrics.record_insert_run(true, take as u64);
         take
     }
 

@@ -1,4 +1,7 @@
-//! Tree configuration: node geometry, IKR tuning, and the QuIT feature set.
+//! Tree configuration: node geometry, IKR tuning, the QuIT feature set,
+//! and the telemetry level.
+
+use crate::metrics::MetricsLevel;
 
 /// Which rule locates the variable-split point `l` inside a full poℓe node
 /// (paper Algorithm 2, line 4).
@@ -52,6 +55,10 @@ pub struct TreeConfig {
     /// Simulated page size in bytes, used for memory-footprint accounting
     /// (Table 2); nodes are charged one full page each like a paged index.
     pub page_size_bytes: usize,
+    /// How much telemetry the tree records (counters, fast-path window,
+    /// latency histograms). See [`MetricsLevel`]; the default records
+    /// counters and the window but never reads the clock.
+    pub metrics_level: MetricsLevel,
 }
 
 impl TreeConfig {
@@ -67,6 +74,7 @@ impl TreeConfig {
             split_bound_rule: SplitBoundRule::Eq2,
             max_variable_fill: 1.0,
             page_size_bytes: 4096,
+            metrics_level: MetricsLevel::default(),
         }
     }
 
@@ -82,6 +90,7 @@ impl TreeConfig {
             split_bound_rule: SplitBoundRule::Eq2,
             max_variable_fill: 1.0,
             page_size_bytes: 4096,
+            metrics_level: MetricsLevel::default(),
         }
     }
 
@@ -149,6 +158,12 @@ impl TreeConfig {
         self
     }
 
+    /// Builder-style override of the telemetry level.
+    pub fn with_metrics_level(mut self, level: MetricsLevel) -> Self {
+        self.metrics_level = level;
+        self
+    }
+
     fn validate(&self) {
         assert!(self.leaf_capacity >= 2, "leaf capacity must be >= 2");
         assert!(
@@ -210,6 +225,14 @@ mod tests {
         assert_eq!(c.ikr_scale, 2.0);
         assert_eq!(c.split_bound_rule, SplitBoundRule::Literal);
         c.assert_valid();
+    }
+
+    #[test]
+    fn metrics_level_defaults_to_counters() {
+        let c = TreeConfig::paper_default();
+        assert_eq!(c.metrics_level, MetricsLevel::Counters);
+        let c = c.with_metrics_level(MetricsLevel::Histograms);
+        assert_eq!(c.metrics_level, MetricsLevel::Histograms);
     }
 
     #[test]

@@ -15,7 +15,7 @@ impl<K: Key, V> BpTree<K, V> {
     /// exist) and returns its value, or `None` when absent.
     pub fn delete(&mut self, key: K) -> Option<V> {
         let (leaf_id, pos) = self.locate(key)?;
-        Stats::bump(&self.stats.deletes);
+        Stats::bump(&self.metrics.counters.deletes);
         let (value, now_len) = {
             let leaf = self.arena.get_mut(leaf_id).as_leaf_mut();
             leaf.keys.remove(pos);
@@ -297,7 +297,7 @@ impl<K: Key, V> BpTree<K, V> {
 
     /// Moves one entry from `donor` into `leaf` and refreshes the separator.
     fn borrow_leaf(&mut self, parent: NodeId, leaf: NodeId, donor: NodeId) {
-        Stats::bump(&self.stats.leaf_borrows);
+        Stats::bump(&self.metrics.counters.leaf_borrows);
         let donor_is_left = {
             let p = self.arena.get(parent).as_internal();
             p.child_index(donor) < p.child_index(leaf)
@@ -346,7 +346,7 @@ impl<K: Key, V> BpTree<K, V> {
     /// Merges `right` into `left` (chain-adjacent, same parent), freeing
     /// `right` and removing its separator from the parent.
     fn merge_leaves(&mut self, parent: NodeId, left: NodeId, right: NodeId) {
-        Stats::bump(&self.stats.leaf_merges);
+        Stats::bump(&self.metrics.counters.leaf_merges);
         let next = {
             let (l, r) = self.arena.get2_mut(left, right);
             let l = l.as_leaf_mut();

@@ -17,6 +17,7 @@ impl<K: Key, V> BpTree<K, V> {
     /// Inserts an entry. Duplicate keys are allowed (this is an index, not a
     /// map); the new entry lands after existing equal keys.
     pub fn insert(&mut self, key: K, value: V) {
+        let t0 = self.metrics.op_timer();
         match self.mode {
             FastPathMode::None => {
                 self.top_insert(key, value);
@@ -26,6 +27,7 @@ impl<K: Key, V> BpTree<K, V> {
             FastPathMode::Pole => self.insert_pole(key, value),
         }
         self.len += 1;
+        self.metrics.record_insert_latency(t0);
     }
 
     #[inline]
@@ -57,7 +59,8 @@ impl<K: Key, V> BpTree<K, V> {
             }
         }
         self.insert_entry(leaf_id, key, value);
-        Stats::bump(&self.stats.top_inserts);
+        Stats::bump(&self.metrics.counters.top_inserts);
+        self.metrics.record_insert_outcome(false);
         (leaf_id, low, high)
     }
 
@@ -83,7 +86,8 @@ impl<K: Key, V> BpTree<K, V> {
         }
         self.insert_entry(target, key, value);
         self.fp.size = self.leaf_len(self.tail);
-        Stats::bump(&self.stats.fast_inserts);
+        Stats::bump(&self.metrics.counters.fast_inserts);
+        self.metrics.record_insert_outcome(true);
     }
 
     // ------------------------------------------------------------------
@@ -107,7 +111,8 @@ impl<K: Key, V> BpTree<K, V> {
             }
             self.insert_entry(target, key, value);
             self.fp.size = self.leaf_len(target);
-            Stats::bump(&self.stats.fast_inserts);
+            Stats::bump(&self.metrics.counters.fast_inserts);
+            self.metrics.record_insert_outcome(true);
         } else {
             // Fig 4b: top-insert, then re-point ℓiℓ at the accepting leaf.
             let (leaf, low, high) = self.top_insert(key, value);
@@ -140,7 +145,8 @@ impl<K: Key, V> BpTree<K, V> {
             // Eq. 2 extrapolates from must stay the one observed between
             // two known non-outliers, or oscillating workloads collapse it.
             self.fp.fails = 0;
-            Stats::bump(&self.stats.fast_inserts);
+            Stats::bump(&self.metrics.counters.fast_inserts);
+            self.metrics.record_insert_outcome(true);
         } else {
             // Algorithm 1 lines 10–14: top-insert, then try to catch up.
             let (lt, low, high) = self.top_insert(key, value);
@@ -155,7 +161,7 @@ impl<K: Key, V> BpTree<K, V> {
             self.fp.fails += 1;
             if let Some(tr) = self.config.reset_threshold {
                 if self.fp.fails >= tr {
-                    Stats::bump(&self.stats.fp_resets);
+                    Stats::bump(&self.metrics.counters.fp_resets);
                     self.repoint_pole(lt, low, high);
                 }
             }
@@ -196,7 +202,7 @@ impl<K: Key, V> BpTree<K, V> {
         self.fp.size = self.leaf_len(lt);
         self.fp.pole_next = None;
         self.fp.fails = 0;
-        Stats::bump(&self.stats.pole_catch_ups);
+        Stats::bump(&self.metrics.counters.pole_catch_ups);
         true
     }
 
@@ -349,7 +355,7 @@ impl<K: Key, V> BpTree<K, V> {
                 }
             }
         };
-        Stats::bump(&self.stats.variable_splits);
+        Stats::bump(&self.metrics.counters.variable_splits);
         if l > def {
             // Few outliers (Fig 7a): split at l−1, carrying one in-order
             // entry into the new node, which becomes poℓe. The fill cap

@@ -10,7 +10,7 @@
 
 use crate::arena::NodeId;
 use crate::key::Key;
-use crate::stats::Stats;
+
 use crate::tree::BpTree;
 use std::ops::{Bound, RangeBounds};
 
@@ -61,10 +61,10 @@ impl<K: Key, V> BpTree<K, V> {
     /// nothing is allocated and values are borrowed.
     ///
     /// Leaf accesses are tracked on the iterator ([`RangeIter::leaf_accesses`])
-    /// but only [`BpTree::range_with_stats`] folds them into [`Stats`],
+    /// but only [`BpTree::range_with_stats`] folds them into [`crate::Stats`],
     /// since a partially consumed lazy scan would under-report.
     pub fn range<R: RangeBounds<K>>(&self, bounds: R) -> RangeIter<'_, K, V> {
-        Stats::bump(&self.stats.range_scans);
+        self.metrics.counters.range_scans.bump_shared();
         let end = copy_bound(bounds.end_bound());
         if self.is_empty() || bounds_empty(bounds.start_bound(), bounds.end_bound()) {
             return RangeIter {
@@ -92,7 +92,10 @@ impl<K: Key, V> BpTree<K, V> {
             Bound::Unbounded => (self.head, 0, 1),
             Bound::Included(&s) => {
                 let (mut leaf_id, _, _, node_accesses) = self.descend(s);
-                Stats::add(&self.stats.lookup_node_accesses, node_accesses);
+                self.metrics
+                    .counters
+                    .lookup_node_accesses
+                    .add_shared(node_accesses);
                 let mut leaf_accesses = 1u64;
                 // A duplicate run equal to `s` may extend into earlier leaves.
                 loop {
@@ -126,7 +129,10 @@ impl<K: Key, V> BpTree<K, V> {
                 // back-walk is needed; if the whole leaf is `<= s` the scan
                 // naturally rolls into the next leaf.
                 let (leaf_id, _, _, node_accesses) = self.descend(s);
-                Stats::add(&self.stats.lookup_node_accesses, node_accesses);
+                self.metrics
+                    .counters
+                    .lookup_node_accesses
+                    .add_shared(node_accesses);
                 let pos = self
                     .arena
                     .get(leaf_id)
@@ -160,15 +166,20 @@ impl<K: Key, V> BpTree<K, V> {
 
 impl<K: Key, V: Clone> BpTree<K, V> {
     /// Materialized range scan with the leaf-access count the paper's
-    /// Fig 10c reports. Also accumulates `range_leaf_accesses` in [`Stats`].
+    /// Fig 10c reports. Also accumulates `range_leaf_accesses` in [`crate::Stats`].
     pub fn range_with_stats<R: RangeBounds<K>>(&self, bounds: R) -> RangeScan<K, V> {
+        let t0 = self.metrics.op_timer();
         let mut iter = self.range(bounds);
         let mut entries = Vec::new();
         for (k, v) in iter.by_ref() {
             entries.push((k, v.clone()));
         }
         let leaf_accesses = iter.leaf_accesses();
-        Stats::add(&self.stats.range_leaf_accesses, leaf_accesses);
+        self.metrics
+            .counters
+            .range_leaf_accesses
+            .add_shared(leaf_accesses);
+        self.metrics.record_range_latency(t0);
         RangeScan {
             entries,
             leaf_accesses,

@@ -36,8 +36,10 @@
 //! }
 //! assert!(index.contains_key(4));
 //! assert_eq!(index.range(3..7).count(), 4);
-//! let s = index.stats();
-//! assert!(s.fast_inserts.get() > s.top_inserts.get());
+//! let m = index.metrics(); // unified snapshot: counters + window (+ latency)
+//! assert!(m.fast_inserts > m.top_inserts);
+//! assert!(m.recent_fastpath_rate() > 0.5);
+//! println!("{}", m.to_json()); // dependency-free JSON export
 //! ```
 //!
 //! Batches with sorted runs ingest even faster through
@@ -88,6 +90,7 @@ mod ikr;
 mod insert;
 mod iter;
 mod key;
+mod metrics;
 mod node;
 mod ordered;
 mod snapshot;
@@ -105,6 +108,10 @@ pub use fastpath::{FastPathMode, FastPathState};
 pub use ikr::{ikr_bound, is_outlier, split_bound};
 pub use iter::{RangeIter, RangeScan, TreeIter};
 pub use key::{Key, OrderedF64};
+pub use metrics::{
+    Counter, FastPathWindow, HistogramSnapshot, LatencyHistogram, MetricsLevel, MetricsRegistry,
+    FASTPATH_WINDOW, HISTOGRAM_BUCKETS,
+};
 pub use snapshot::TreeSnapshot;
 pub use sorted_index::SortedIndex;
 pub use stats::{MemoryReport, Stats, StatsSnapshot};

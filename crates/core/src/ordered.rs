@@ -3,7 +3,7 @@
 //! B+-tree reads — none of them interact with the fast path.
 
 use crate::key::Key;
-use crate::stats::Stats;
+
 use crate::tree::BpTree;
 
 impl<K: Key, V> BpTree<K, V> {
@@ -22,9 +22,12 @@ impl<K: Key, V> BpTree<K, V> {
 
     /// The largest entry with key `<= key` (floor).
     pub fn floor(&self, key: K) -> Option<(K, &V)> {
-        Stats::bump(&self.stats.lookups);
+        self.metrics.counters.lookups.bump_shared();
         let (leaf_id, _, _, accesses) = self.descend(key);
-        Stats::add(&self.stats.lookup_node_accesses, accesses);
+        self.metrics
+            .counters
+            .lookup_node_accesses
+            .add_shared(accesses);
         let mut leaf_id = leaf_id;
         loop {
             let leaf = self.arena.get(leaf_id).as_leaf();
@@ -36,7 +39,7 @@ impl<K: Key, V> BpTree<K, V> {
             // last entry of an earlier leaf.
             match leaf.prev {
                 Some(prev) => {
-                    Stats::bump(&self.stats.lookup_node_accesses);
+                    self.metrics.counters.lookup_node_accesses.bump_shared();
                     leaf_id = prev;
                 }
                 None => return None,
@@ -46,9 +49,12 @@ impl<K: Key, V> BpTree<K, V> {
 
     /// The smallest entry with key `>= key` (ceiling).
     pub fn ceiling(&self, key: K) -> Option<(K, &V)> {
-        Stats::bump(&self.stats.lookups);
+        self.metrics.counters.lookups.bump_shared();
         let (leaf_id, _, _, accesses) = self.descend(key);
-        Stats::add(&self.stats.lookup_node_accesses, accesses);
+        self.metrics
+            .counters
+            .lookup_node_accesses
+            .add_shared(accesses);
         // Duplicate runs equal to `key` may begin in earlier leaves; walk
         // back like `locate` does so the returned entry is the run head.
         let mut leaf_id = leaf_id;
@@ -60,7 +66,7 @@ impl<K: Key, V> BpTree<K, V> {
                     if let Some(prev) = leaf.prev {
                         let pl = self.arena.get(prev).as_leaf();
                         if pl.keys.last().is_some_and(|&k| k >= key) {
-                            Stats::bump(&self.stats.lookup_node_accesses);
+                            self.metrics.counters.lookup_node_accesses.bump_shared();
                             leaf_id = prev;
                             continue;
                         }
@@ -71,7 +77,7 @@ impl<K: Key, V> BpTree<K, V> {
             // Leaf entirely below `key`: ceiling lives in the next leaf.
             match leaf.next {
                 Some(next) => {
-                    Stats::bump(&self.stats.lookup_node_accesses);
+                    self.metrics.counters.lookup_node_accesses.bump_shared();
                     leaf_id = next;
                 }
                 None => return None,

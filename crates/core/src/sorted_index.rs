@@ -82,10 +82,26 @@ pub trait SortedIndex<K: Key, V: Clone> {
         self.len() == 0
     }
 
-    /// Point-in-time snapshot of the insert/lookup counters, in
-    /// `quit-core`'s [`StatsSnapshot`] vocabulary. Families track the
-    /// subset that applies to them and leave the rest 0.
-    fn stats_snapshot(&self) -> StatsSnapshot;
+    /// Point-in-time snapshot of everything the family's metrics registry
+    /// records — operation counters, latency histograms (when the family
+    /// runs at [`crate::MetricsLevel::Histograms`]), and the fast-path
+    /// window — in `quit-core`'s [`StatsSnapshot`] vocabulary. Families
+    /// track the subset that applies to them and leave the rest 0.
+    ///
+    /// This is the one observability surface of the trait; export with
+    /// [`StatsSnapshot::to_json`].
+    fn metrics(&self) -> StatsSnapshot;
+
+    /// Zeroes every counter, histogram, and the fast-path window (e.g.
+    /// between the ingest and query phases of an experiment). Contents are
+    /// untouched.
+    fn reset_metrics(&self);
+
+    /// Point-in-time snapshot of the operation counters.
+    #[deprecated(since = "0.3.0", note = "use `metrics()` instead")]
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        self.metrics()
+    }
 }
 
 impl<K: Key, V: Clone> SortedIndex<K, V> for BpTree<K, V> {
@@ -117,8 +133,12 @@ impl<K: Key, V: Clone> SortedIndex<K, V> for BpTree<K, V> {
         BpTree::len(self)
     }
 
-    fn stats_snapshot(&self) -> StatsSnapshot {
-        self.stats().snapshot()
+    fn metrics(&self) -> StatsSnapshot {
+        self.metrics_registry().snapshot()
+    }
+
+    fn reset_metrics(&self) {
+        self.metrics_registry().reset();
     }
 }
 
@@ -148,12 +168,30 @@ mod tests {
     }
 
     #[test]
-    fn trait_stats_snapshot_matches_inherent() {
+    fn trait_metrics_matches_inherent() {
         let mut t = BpTree::<u64, u64>::quit();
         for k in 0..100u64 {
             SortedIndex::insert(&mut t, k, k);
         }
-        let snap = SortedIndex::<u64, u64>::stats_snapshot(&t);
+        let snap = SortedIndex::<u64, u64>::metrics(&t);
         assert_eq!(snap.fast_inserts + snap.top_inserts, 100);
+        assert_eq!(snap.window_len, 100, "window sees every insert");
+        SortedIndex::<u64, u64>::reset_metrics(&t);
+        assert_eq!(
+            SortedIndex::<u64, u64>::metrics(&t),
+            crate::stats::StatsSnapshot::default()
+        );
+        assert_eq!(t.len(), 100, "reset_metrics leaves contents alone");
+    }
+
+    #[test]
+    fn deprecated_shim_forwards() {
+        let mut t = BpTree::<u64, u64>::quit();
+        for k in 0..10u64 {
+            SortedIndex::insert(&mut t, k, k);
+        }
+        #[allow(deprecated)]
+        let snap = SortedIndex::<u64, u64>::stats_snapshot(&t);
+        assert_eq!(snap, SortedIndex::<u64, u64>::metrics(&t));
     }
 }

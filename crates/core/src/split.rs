@@ -15,7 +15,7 @@ impl<K: Key, V> BpTree<K, V> {
     ///
     /// `1 <= pos <= len-1` so both halves are non-empty.
     pub(crate) fn split_leaf_at(&mut self, leaf_id: NodeId, pos: usize) -> (NodeId, K) {
-        Stats::bump(&self.stats.leaf_splits);
+        Stats::bump(&self.metrics.counters.leaf_splits);
         let (right_keys, right_vals, old_next, parent) = {
             let leaf = self.arena.get_mut(leaf_id).as_leaf_mut();
             debug_assert!(pos >= 1 && pos < leaf.len(), "bad split pos {pos}");
@@ -92,7 +92,7 @@ impl<K: Key, V> BpTree<K, V> {
     /// moves up to the parent (it separates the two halves and is not
     /// retained in either).
     pub(crate) fn split_internal(&mut self, node_id: NodeId) {
-        Stats::bump(&self.stats.internal_splits);
+        Stats::bump(&self.metrics.counters.internal_splits);
         let (up_key, right_keys, right_children) = {
             let n = self.arena.get_mut(node_id).as_internal_mut();
             let mid = n.keys.len() / 2;
@@ -142,7 +142,7 @@ impl<K: Key, V> BpTree<K, V> {
         prev_id: NodeId,
         move_count: usize,
     ) {
-        Stats::bump(&self.stats.redistributions);
+        Stats::bump(&self.metrics.counters.redistributions);
         {
             let (pole, prev) = self.arena.get2_mut(pole_id, prev_id);
             let pole = pole.as_leaf_mut();

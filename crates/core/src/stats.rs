@@ -1,46 +1,58 @@
-//! Operation counters and memory accounting.
+//! Operation counters, snapshots, JSON export, and memory accounting.
 //!
 //! Every figure in the paper's evaluation reads one of these counters:
 //! fast-insert vs top-insert fractions (Figs 3, 5a, 9, 11, 12), node
 //! accesses per lookup (Fig 10b/c), and paged memory footprint (Table 2,
-//! Fig 10a). Counters use `Cell` so read paths (`get`, range scans) can
-//! count through `&self`.
+//! Fig 10a). Counters are relaxed atomics ([`crate::metrics::Counter`]) so
+//! read paths (`get`, range scans) can count through `&self` and the same
+//! `Stats` type serves the concurrent tree, where they stay exact under
+//! parallel writers.
+//!
+//! [`StatsSnapshot`] is the read-side view: plain integers plus latency
+//! histograms and the fast-path window, exported to JSON by
+//! [`StatsSnapshot::to_json`] (hand-rolled — this workspace takes no
+//! serialization dependency).
 
-use std::cell::Cell;
+use crate::metrics::{Counter, HistogramSnapshot};
 
 /// Mutable-through-`&self` counters attached to a tree.
+///
+/// Single-writer paths (`&mut self` inserts/deletes) use the cheap
+/// [`Counter::bump`]/[`Counter::add`] load-store flavour; paths that can
+/// race (`&self` lookups and scans, the concurrent tree) use
+/// [`Counter::bump_shared`]/[`Counter::add_shared`] so totals stay exact.
 #[derive(Debug, Default)]
 pub struct Stats {
     /// Inserts that used the fast path (no root-to-leaf traversal).
-    pub fast_inserts: Cell<u64>,
+    pub fast_inserts: Counter,
     /// Inserts that performed a full top-to-bottom traversal.
-    pub top_inserts: Cell<u64>,
+    pub top_inserts: Counter,
     /// Leaf splits performed (any cause).
-    pub leaf_splits: Cell<u64>,
+    pub leaf_splits: Counter,
     /// Internal-node splits performed.
-    pub internal_splits: Cell<u64>,
+    pub internal_splits: Counter,
     /// Variable (non-50/50) leaf splits taken by QuIT's Algorithm 2.
-    pub variable_splits: Cell<u64>,
+    pub variable_splits: Counter,
     /// Redistributions into `poℓe_prev` (Algorithm 2 line 10).
-    pub redistributions: Cell<u64>,
+    pub redistributions: Counter,
     /// Fast-path resets after `T_R` consecutive top-inserts.
-    pub fp_resets: Cell<u64>,
+    pub fp_resets: Counter,
     /// poℓe catch-up promotions (§4.2 "Catching Up to Predicted Outliers").
-    pub pole_catch_ups: Cell<u64>,
+    pub pole_catch_ups: Counter,
     /// Nodes touched by point lookups (internal + leaf).
-    pub lookup_node_accesses: Cell<u64>,
+    pub lookup_node_accesses: Counter,
     /// Leaf nodes touched by range scans.
-    pub range_leaf_accesses: Cell<u64>,
+    pub range_leaf_accesses: Counter,
     /// Point lookups issued.
-    pub lookups: Cell<u64>,
+    pub lookups: Counter,
     /// Range scans issued.
-    pub range_scans: Cell<u64>,
+    pub range_scans: Counter,
     /// Entries removed by `delete`.
-    pub deletes: Cell<u64>,
+    pub deletes: Counter,
     /// Leaf merges triggered by delete rebalancing.
-    pub leaf_merges: Cell<u64>,
+    pub leaf_merges: Counter,
     /// Sibling borrows triggered by delete rebalancing.
-    pub leaf_borrows: Cell<u64>,
+    pub leaf_borrows: Counter,
 }
 
 impl Stats {
@@ -49,23 +61,27 @@ impl Stats {
         Stats::default()
     }
 
+    fn for_each(&self, mut f: impl FnMut(&Counter)) {
+        f(&self.fast_inserts);
+        f(&self.top_inserts);
+        f(&self.leaf_splits);
+        f(&self.internal_splits);
+        f(&self.variable_splits);
+        f(&self.redistributions);
+        f(&self.fp_resets);
+        f(&self.pole_catch_ups);
+        f(&self.lookup_node_accesses);
+        f(&self.range_leaf_accesses);
+        f(&self.lookups);
+        f(&self.range_scans);
+        f(&self.deletes);
+        f(&self.leaf_merges);
+        f(&self.leaf_borrows);
+    }
+
     /// Zeroes every counter (e.g. between ingest and query phases).
     pub fn reset(&self) {
-        self.fast_inserts.set(0);
-        self.top_inserts.set(0);
-        self.leaf_splits.set(0);
-        self.internal_splits.set(0);
-        self.variable_splits.set(0);
-        self.redistributions.set(0);
-        self.fp_resets.set(0);
-        self.pole_catch_ups.set(0);
-        self.lookup_node_accesses.set(0);
-        self.range_leaf_accesses.set(0);
-        self.lookups.set(0);
-        self.range_scans.set(0);
-        self.deletes.set(0);
-        self.leaf_merges.set(0);
-        self.leaf_borrows.set(0);
+        self.for_each(|c| c.set(0));
     }
 
     /// Total inserts observed (fast + top).
@@ -85,6 +101,8 @@ impl Stats {
     }
 
     /// Snapshot of the counters as plain integers (handy for diffing).
+    /// Histogram and window fields are zero here; use
+    /// [`crate::MetricsRegistry::snapshot`] for the full picture.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             fast_inserts: self.fast_inserts.get(),
@@ -102,22 +120,28 @@ impl Stats {
             deletes: self.deletes.get(),
             leaf_merges: self.leaf_merges.get(),
             leaf_borrows: self.leaf_borrows.get(),
+            ..Default::default()
         }
     }
 
+    /// `counter += 1` on an externally-synchronized write path.
     #[inline]
-    pub(crate) fn bump(cell: &Cell<u64>) {
-        cell.set(cell.get() + 1);
+    pub(crate) fn bump(counter: &Counter) {
+        counter.bump();
     }
 
+    /// `counter += n` on an externally-synchronized write path.
     #[inline]
-    pub(crate) fn add(cell: &Cell<u64>, n: u64) {
-        cell.set(cell.get() + n);
+    pub(crate) fn add(counter: &Counter, n: u64) {
+        counter.add(n);
     }
 }
 
-/// Plain-integer copy of [`Stats`] at a point in time. Fields mirror
-/// [`Stats`] one-to-one.
+/// Plain-integer copy of a tree's metrics at a point in time: the
+/// [`Stats`] counters one-to-one, plus per-operation latency histograms
+/// and the fast-path window (both populated by
+/// [`crate::MetricsRegistry::snapshot`]; zero when only counters are
+/// recorded).
 #[allow(missing_docs)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
@@ -136,6 +160,166 @@ pub struct StatsSnapshot {
     pub deletes: u64,
     pub leaf_merges: u64,
     pub leaf_borrows: u64,
+    /// Insert latency histogram ([`crate::MetricsLevel::Histograms`] only).
+    pub insert_latency: HistogramSnapshot,
+    /// Point-lookup latency histogram.
+    pub get_latency: HistogramSnapshot,
+    /// Range-scan latency histogram.
+    pub range_latency: HistogramSnapshot,
+    /// Fast-path hits among the window's inserts.
+    pub window_fast: u64,
+    /// Inserts represented in the window (≤ [`crate::FASTPATH_WINDOW`]).
+    pub window_len: u64,
+}
+
+impl StatsSnapshot {
+    /// Total inserts observed (fast + top).
+    pub fn total_inserts(&self) -> u64 {
+        self.fast_inserts + self.top_inserts
+    }
+
+    /// Fraction of all inserts that took the fast path, in `[0, 1]`.
+    pub fn fast_insert_fraction(&self) -> f64 {
+        let total = self.total_inserts();
+        if total == 0 {
+            0.0
+        } else {
+            self.fast_inserts as f64 / total as f64
+        }
+    }
+
+    /// Fraction of the *windowed* (most recent) inserts that took the fast
+    /// path, in `[0, 1]` — the sortedness-over-time signal.
+    pub fn recent_fastpath_rate(&self) -> f64 {
+        if self.window_len == 0 {
+            0.0
+        } else {
+            self.window_fast as f64 / self.window_len as f64
+        }
+    }
+
+    /// Serializes the snapshot as a self-contained JSON object.
+    ///
+    /// Hand-rolled (no serialization dependency): counters become integer
+    /// fields, each non-empty histogram becomes an object with `count`,
+    /// `sum_ns`, mean, p50/p99/p999, and the sparse `buckets` array, and
+    /// the window becomes `{"fast": .., "len": .., "rate": ..}`. Keys are
+    /// emitted in declaration order, so output is deterministic.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        let counters: [(&str, u64); 15] = [
+            ("fast_inserts", self.fast_inserts),
+            ("top_inserts", self.top_inserts),
+            ("leaf_splits", self.leaf_splits),
+            ("internal_splits", self.internal_splits),
+            ("variable_splits", self.variable_splits),
+            ("redistributions", self.redistributions),
+            ("fp_resets", self.fp_resets),
+            ("pole_catch_ups", self.pole_catch_ups),
+            ("lookup_node_accesses", self.lookup_node_accesses),
+            ("range_leaf_accesses", self.range_leaf_accesses),
+            ("lookups", self.lookups),
+            ("range_scans", self.range_scans),
+            ("deletes", self.deletes),
+            ("leaf_merges", self.leaf_merges),
+            ("leaf_borrows", self.leaf_borrows),
+        ];
+        for (name, v) in counters {
+            push_key(&mut out, name);
+            out.push_str(&v.to_string());
+            out.push(',');
+        }
+        push_key(&mut out, "fast_insert_fraction");
+        push_f64(&mut out, self.fast_insert_fraction());
+        out.push(',');
+
+        for (name, h) in [
+            ("insert_latency", &self.insert_latency),
+            ("get_latency", &self.get_latency),
+            ("range_latency", &self.range_latency),
+        ] {
+            push_key(&mut out, name);
+            push_histogram(&mut out, h);
+            out.push(',');
+        }
+
+        push_key(&mut out, "fastpath_window");
+        out.push('{');
+        push_key(&mut out, "fast");
+        out.push_str(&self.window_fast.to_string());
+        out.push(',');
+        push_key(&mut out, "len");
+        out.push_str(&self.window_len.to_string());
+        out.push(',');
+        push_key(&mut out, "rate");
+        push_f64(&mut out, self.recent_fastpath_rate());
+        out.push('}');
+
+        out.push('}');
+        out
+    }
+}
+
+fn push_key(out: &mut String, key: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+}
+
+/// Emits a finite float compactly; JSON has no NaN/Inf, so those become 0.
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let s = format!("{v:.6}");
+        out.push_str(s.trim_end_matches('0').trim_end_matches('.'));
+        if out.ends_with(':') || out.ends_with('-') {
+            out.push('0');
+        }
+    } else {
+        out.push('0');
+    }
+}
+
+fn push_histogram(out: &mut String, h: &HistogramSnapshot) {
+    out.push('{');
+    push_key(out, "count");
+    out.push_str(&h.count().to_string());
+    out.push(',');
+    push_key(out, "sum_ns");
+    out.push_str(&h.sum_ns.to_string());
+    out.push(',');
+    push_key(out, "mean_ns");
+    out.push_str(&h.mean_ns().to_string());
+    out.push(',');
+    push_key(out, "p50_ns");
+    out.push_str(&h.p50_ns().to_string());
+    out.push(',');
+    push_key(out, "p99_ns");
+    out.push_str(&h.p99_ns().to_string());
+    out.push(',');
+    push_key(out, "p999_ns");
+    out.push_str(&h.p999_ns().to_string());
+    out.push(',');
+    // Sparse bucket encoding: [[bucket_index, count], ...] keeps empty
+    // histograms at a handful of bytes instead of 32 zeros.
+    push_key(out, "buckets");
+    out.push('[');
+    let mut first = true;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c > 0 {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('[');
+            out.push_str(&i.to_string());
+            out.push(',');
+            out.push_str(&c.to_string());
+            out.push(']');
+        }
+    }
+    out.push(']');
+    out.push('}');
 }
 
 /// Memory-footprint report for Table 2 / Fig 10a.
@@ -191,5 +375,59 @@ mod tests {
         assert_eq!(snap.leaf_splits, 1);
         assert_eq!(snap.deletes, 1);
         assert_eq!(snap.fast_inserts, 0);
+        assert_eq!(snap.total_inserts(), 0);
+    }
+
+    #[test]
+    fn snapshot_fraction_helpers() {
+        let snap = StatsSnapshot {
+            fast_inserts: 3,
+            top_inserts: 1,
+            window_fast: 10,
+            window_len: 40,
+            ..Default::default()
+        };
+        assert!((snap.fast_insert_fraction() - 0.75).abs() < 1e-12);
+        assert!((snap.recent_fastpath_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(StatsSnapshot::default().recent_fastpath_rate(), 0.0);
+    }
+
+    #[test]
+    fn json_has_counters_and_window() {
+        let snap = StatsSnapshot {
+            fast_inserts: 42,
+            top_inserts: 8,
+            window_fast: 7,
+            window_len: 8,
+            ..Default::default()
+        };
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"fast_inserts\":42"));
+        assert!(json.contains("\"top_inserts\":8"));
+        assert!(json.contains("\"fast_insert_fraction\":0.84"));
+        assert!(json.contains("\"fastpath_window\":{\"fast\":7,\"len\":8,\"rate\":0.875}"));
+        assert!(json.contains("\"insert_latency\":{\"count\":0,"));
+        assert!(json.contains("\"buckets\":[]"));
+    }
+
+    #[test]
+    fn json_histogram_buckets_sparse() {
+        let mut snap = StatsSnapshot::default();
+        snap.insert_latency.buckets[4] = 9;
+        snap.insert_latency.sum_ns = 9 * 20;
+        let json = snap.to_json();
+        assert!(json.contains("\"buckets\":[[4,9]]"));
+        assert!(json.contains("\"p50_ns\":16"));
+        assert!(json.contains("\"mean_ns\":20"));
+    }
+
+    #[test]
+    fn f64_formatting_is_json_safe() {
+        let mut out = String::new();
+        push_f64(&mut out, f64::NAN);
+        push_f64(&mut out, 0.5);
+        push_f64(&mut out, 1.0);
+        assert_eq!(out, "00.51");
     }
 }

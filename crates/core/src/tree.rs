@@ -12,6 +12,7 @@ use crate::arena::{Arena, NodeId};
 use crate::config::TreeConfig;
 use crate::fastpath::{FastPathMode, FastPathState};
 use crate::key::Key;
+use crate::metrics::MetricsRegistry;
 use crate::node::{LeafNode, Node};
 use crate::stats::{MemoryReport, Stats};
 
@@ -49,7 +50,7 @@ pub struct BpTree<K, V> {
     pub(crate) config: TreeConfig,
     pub(crate) mode: FastPathMode,
     pub(crate) fp: FastPathState<K>,
-    pub(crate) stats: Stats,
+    pub(crate) metrics: MetricsRegistry,
 }
 
 impl<K: Key, V> BpTree<K, V> {
@@ -63,6 +64,7 @@ impl<K: Key, V> BpTree<K, V> {
             fp.leaf = None;
             fp.path.clear();
         }
+        let metrics = MetricsRegistry::new(config.metrics_level);
         BpTree {
             arena,
             root,
@@ -73,7 +75,7 @@ impl<K: Key, V> BpTree<K, V> {
             config,
             mode,
             fp,
-            stats: Stats::new(),
+            metrics,
         }
     }
 
@@ -112,10 +114,23 @@ impl<K: Key, V> BpTree<K, V> {
         &self.config
     }
 
-    /// Operation counters.
+    /// Operation counters (the registry's counter block).
     #[inline]
     pub fn stats(&self) -> &Stats {
-        &self.stats
+        &self.metrics.counters
+    }
+
+    /// The full metrics registry: counters, latency histograms, and the
+    /// fast-path window.
+    #[inline]
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Point-in-time snapshot of everything the registry records.
+    #[inline]
+    pub fn metrics(&self) -> crate::stats::StatsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// The current root-to-leaf path of the fast-path node (`fp_path`,
@@ -197,7 +212,10 @@ impl<K: Key, V> BpTree<K, V> {
     /// leaf chain when a duplicate run spans leaves. Returns `(leaf, slot)`.
     pub(crate) fn locate(&self, key: K) -> Option<(NodeId, usize)> {
         let (mut leaf_id, _, _, accesses) = self.descend(key);
-        Stats::add(&self.stats.lookup_node_accesses, accesses);
+        self.metrics
+            .counters
+            .lookup_node_accesses
+            .add_shared(accesses);
         loop {
             let leaf = self.arena.get(leaf_id).as_leaf();
             let pos = leaf.keys.partition_point(|k| *k < key);
@@ -210,7 +228,7 @@ impl<K: Key, V> BpTree<K, V> {
                 if let Some(prev) = leaf.prev {
                     let pl = self.arena.get(prev).as_leaf();
                     if pl.keys.last().is_some_and(|&k| k >= key) {
-                        Stats::bump(&self.stats.lookup_node_accesses);
+                        self.metrics.counters.lookup_node_accesses.bump_shared();
                         leaf_id = prev;
                         continue;
                     }
@@ -227,23 +245,27 @@ impl<K: Key, V> BpTree<K, V> {
     /// Point lookup: a reference to *a* value stored under `key`
     /// (the left-most match when duplicates exist).
     pub fn get(&self, key: K) -> Option<&V> {
-        Stats::bump(&self.stats.lookups);
-        let (leaf_id, pos) = self.locate(key)?;
-        // locate returns the right-most reachable match leaf; step left to the
-        // run head so `get` is deterministic under duplicates.
-        let (leaf_id, pos) = self.run_head(leaf_id, pos, key);
-        Some(&self.arena.get(leaf_id).as_leaf().vals[pos])
+        let t0 = self.metrics.op_timer();
+        self.metrics.counters.lookups.bump_shared();
+        let found = self.locate(key).map(|(leaf_id, pos)| {
+            // locate returns the right-most reachable match leaf; step left
+            // to the run head so `get` is deterministic under duplicates.
+            let (leaf_id, pos) = self.run_head(leaf_id, pos, key);
+            &self.arena.get(leaf_id).as_leaf().vals[pos]
+        });
+        self.metrics.record_get_latency(t0);
+        found
     }
 
     /// True when at least one entry with `key` exists.
     pub fn contains_key(&self, key: K) -> bool {
-        Stats::bump(&self.stats.lookups);
+        self.metrics.counters.lookups.bump_shared();
         self.locate(key).is_some()
     }
 
     /// All values stored under `key`, in insertion-order position.
     pub fn get_all(&self, key: K) -> Vec<&V> {
-        Stats::bump(&self.stats.lookups);
+        self.metrics.counters.lookups.bump_shared();
         let mut out = Vec::new();
         let Some((leaf_id, pos)) = self.locate(key) else {
             return out;
@@ -334,13 +356,17 @@ impl<K: Key, V> BpTree<K, V> {
     }
 
     /// Drops every entry, resetting the tree to a single empty root leaf.
-    /// Statistics are preserved; the fast path re-arms on the fresh root.
+    /// Metrics (counters, histograms, window) are preserved; the fast path
+    /// re-arms on the fresh root.
     pub fn clear(&mut self) {
         let config = self.config.clone();
         let mode = self.mode;
-        let stats = std::mem::take(&mut self.stats);
+        let metrics = std::mem::replace(
+            &mut self.metrics,
+            MetricsRegistry::new(config.metrics_level),
+        );
         *self = Self::with_config(mode, config);
-        self.stats = stats;
+        self.metrics = metrics;
     }
 
     /// Renders the tree structure as an indented outline (diagnostics; not

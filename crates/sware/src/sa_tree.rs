@@ -6,7 +6,7 @@
 //! buffer first (the read penalty §2 quantifies), then the tree.
 
 use crate::buffer::{BufferStats, SwareBuffer};
-use quit_core::{BpTree, FastPathMode, Key, TreeConfig};
+use quit_core::{BpTree, FastPathMode, Key, MetricsRegistry, StatsSnapshot, TreeConfig};
 use std::hash::Hash;
 
 /// Configuration of the SA-B+-tree.
@@ -75,6 +75,11 @@ pub struct SaBpTree<K, V> {
     buffer: SwareBuffer<K, V>,
     config: SwareConfig,
     stats: SwareStats,
+    /// SA-level registry: end-to-end insert/get/range latency (buffer
+    /// included) and the bulk-load-vs-top-insert window. Tree-structure
+    /// counters live in the inner tree's registry; [`SaBpTree::metrics`]
+    /// overlays the two.
+    metrics: MetricsRegistry,
 }
 
 impl<K: Key + Hash, V: Clone> SaBpTree<K, V> {
@@ -85,6 +90,7 @@ impl<K: Key + Hash, V: Clone> SaBpTree<K, V> {
             config.flush_fraction > 0.0 && config.flush_fraction <= 1.0,
             "flush fraction must be in (0, 1]"
         );
+        let metrics = MetricsRegistry::new(config.tree_config.metrics_level);
         SaBpTree {
             tree: BpTree::with_config(FastPathMode::None, config.tree_config.clone()),
             buffer: SwareBuffer::new(
@@ -94,6 +100,7 @@ impl<K: Key + Hash, V: Clone> SaBpTree<K, V> {
             ),
             config,
             stats: SwareStats::default(),
+            metrics,
         }
     }
 
@@ -108,11 +115,15 @@ impl<K: Key + Hash, V: Clone> SaBpTree<K, V> {
     }
 
     /// Inserts an entry, flushing the buffer first if it is full.
+    /// Recorded latency is end-to-end: a flush triggered here is part of
+    /// this insert's cost (the amortization spike SWARE trades for).
     pub fn insert(&mut self, key: K, value: V) {
+        let t0 = self.metrics.op_timer();
         if self.buffer.is_full() {
             self.flush();
         }
         self.buffer.insert(key, value);
+        self.metrics.record_insert_latency(t0);
     }
 
     /// Drains the smallest `flush_fraction` of the buffer and
@@ -129,8 +140,14 @@ impl<K: Key + Hash, V: Clone> SaBpTree<K, V> {
         let descents = self.tree.bulk_insert_run(&run);
         // Entries that shared a traversal are the bulk-loaded ones; each
         // extra descent is equivalent to one top-insert.
+        let tops = descents.min(run.len()) as u64;
         self.stats.flush_top_inserts += descents as u64;
-        self.stats.bulk_loaded += (run.len() - descents.min(run.len())) as u64;
+        self.stats.bulk_loaded += run.len() as u64 - tops;
+        // The window tracks the SWARE analogue of the fast path: entries
+        // that bulk-loaded vs. entries that needed their own descent.
+        self.metrics.record_insert_run(false, tops);
+        self.metrics
+            .record_insert_run(true, run.len() as u64 - tops);
     }
 
     /// Flushes everything (e.g. at the end of an ingest phase).
@@ -143,12 +160,16 @@ impl<K: Key + Hash, V: Clone> SaBpTree<K, V> {
     /// Point lookup: buffer first (Blooms + Zonemaps + cracked pages), then
     /// the underlying tree.
     pub fn get(&mut self, key: K) -> Option<V> {
-        if let Some(v) = self.buffer.get(key) {
+        let t0 = self.metrics.op_timer();
+        let found = if let Some(v) = self.buffer.get(key) {
             self.stats.buffer_hits += 1;
-            return Some(v);
-        }
-        self.stats.tree_lookups += 1;
-        self.tree.get(key).cloned()
+            Some(v)
+        } else {
+            self.stats.tree_lookups += 1;
+            self.tree.get(key).cloned()
+        };
+        self.metrics.record_get_latency(t0);
+        found
     }
 
     /// True when at least one entry with `key` exists.
@@ -168,6 +189,7 @@ impl<K: Key + Hash, V: Clone> SaBpTree<K, V> {
             }
         }
         // Materialize the bounds so both the tree and the buffer see them.
+        let t0 = self.metrics.op_timer();
         let b = (own(bounds.start_bound()), own(bounds.end_bound()));
         let mut out: Vec<(K, V)> = self.tree.range(b).map(|(k, v)| (k, v.clone())).collect();
         let buffered = self.buffer.range(b);
@@ -175,6 +197,7 @@ impl<K: Key + Hash, V: Clone> SaBpTree<K, V> {
             out.extend(buffered);
             out.sort_by_key(|a| a.0);
         }
+        self.metrics.record_range_latency(t0);
         out
     }
 
@@ -189,6 +212,32 @@ impl<K: Key + Hash, V: Clone> SaBpTree<K, V> {
     /// SWARE-level counters.
     pub fn stats(&self) -> SwareStats {
         self.stats
+    }
+
+    /// The SA-level metrics registry (end-to-end latency + flush window).
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Unified snapshot: the inner B+-tree's structural counters (splits,
+    /// descents, lookups) overlaid with the SA-level latency histograms and
+    /// the bulk-load window — end-to-end observability in the shared
+    /// [`StatsSnapshot`] vocabulary.
+    pub fn metrics(&self) -> StatsSnapshot {
+        let mut snap = self.tree.metrics_registry().snapshot();
+        let sa = self.metrics.snapshot();
+        // SWARE's analogue of the fast/top split: entries that rode a shared
+        // flush descent (bulk-loaded) vs. entries that needed their own.
+        // `bulk_insert_run` does not tick the inner tree's insert counters,
+        // so the flush-level tallies are the authoritative ones.
+        snap.fast_inserts = self.stats.bulk_loaded;
+        snap.top_inserts = self.stats.flush_top_inserts;
+        snap.insert_latency = sa.insert_latency;
+        snap.get_latency = sa.get_latency;
+        snap.range_latency = sa.range_latency;
+        snap.window_fast = sa.window_fast;
+        snap.window_len = sa.window_len;
+        snap
     }
 
     /// Buffer-level counters.
@@ -237,10 +286,17 @@ impl<K: Key + Hash, V: Clone> quit_core::SortedIndex<K, V> for SaBpTree<K, V> {
         SaBpTree::len(self)
     }
 
-    fn stats_snapshot(&self) -> quit_core::StatsSnapshot {
-        // The SWARE-level counters live in `SwareStats`; the snapshot
-        // reports the underlying B+-tree's counters.
-        self.tree.stats().snapshot()
+    fn metrics(&self) -> StatsSnapshot {
+        SaBpTree::metrics(self)
+    }
+
+    fn reset_metrics(&self) {
+        // Clears both registries (latency, window, inner-tree structural
+        // counters). The plain-field `SwareStats` flush tallies that back
+        // `fast_inserts`/`top_inserts` in the snapshot are not resettable
+        // through `&self` and keep accumulating.
+        self.metrics.reset();
+        self.tree.metrics_registry().reset();
     }
 }
 

@@ -9,7 +9,6 @@
 
 use quick_insertion_tree::bods::BodsSpec;
 use quick_insertion_tree::quit_concurrent::{ConcConfig, ConcurrentTree};
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -54,12 +53,15 @@ fn main() {
             quit_tput / classic_tput
         );
         if threads == 8 {
-            let s = quit_tree.stats();
+            let m = quit_tree.metrics();
             println!(
                 "\nat 8 threads QuIT served {:.1}% of inserts through the single-leaf fast path",
-                100.0 * s.fast_inserts.load(Ordering::Relaxed) as f64
-                    / (s.fast_inserts.load(Ordering::Relaxed)
-                        + s.top_inserts.load(Ordering::Relaxed)) as f64
+                100.0 * m.fast_insert_fraction()
+            );
+            println!(
+                "fast-path rate over the last {} inserts: {:.1}%",
+                m.window_len,
+                100.0 * m.recent_fastpath_rate()
             );
             // Readers run concurrently with no coordination beyond the
             // shared locks.

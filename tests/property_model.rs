@@ -2,6 +2,11 @@
 //! `BTreeMap<u64, Vec<u64>>` multiset model, over random operation
 //! sequences with duplicate keys, deletes, and range scans. Structural
 //! invariants are re-checked after every batch.
+//!
+//! Limitation: the vendored `proptest` stub does not persist failing cases
+//! to a `.proptest-regressions` file (upstream does), so shrunk
+//! counterexamples must be copied into a dedicated unit test by hand if
+//! they are to be kept.
 
 use proptest::prelude::*;
 use quick_insertion_tree::quit_core::{TreeConfig, Variant};

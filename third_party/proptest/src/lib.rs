@@ -260,7 +260,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length bounds for [`vec`], converted from `usize` ranges.
+    /// Length bounds for [`vec()`], converted from `usize` ranges.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         min: usize,
@@ -301,7 +301,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
