@@ -22,6 +22,7 @@
 //! | `table3` | Table 3 — scalability with data size |
 //! | `sensitivity` | extra: IKR-scale and `T_R` tuning sweeps (§4.4's "little to no tuning") |
 //! | `batch_ingest` | extra: `insert_batch` vs per-key loop across the K grid |
+//! | `soak` | extra: `quit-testkit` differential-oracle soak over the K×L grid (correctness, not timing) |
 
 #![warn(missing_docs)]
 

@@ -330,23 +330,34 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
         let mut leaf_split: Option<PoleSplitEvent<K, V>> = None;
         let mut target_arc = current.clone();
         if self.node_unsafe_for_insert(&guard) {
-            let (right_arc, sep, left_len, q) = self.split_leaf(&mut guard);
-            self.metrics.counters.leaf_splits.bump_shared();
-            leaf_split = Some(PoleSplitEvent {
-                left: current.clone(),
-                right: right_arc.clone(),
-                sep,
-                left_len,
-                q,
-            });
-            if key >= sep {
-                // Move to the new right node: lock it (nobody else can reach
-                // it yet through the tree, but scans via `next` can).
-                let right_guard = RwLock::write_arc(&right_arc);
-                target_arc = right_arc.clone();
-                guard = right_guard;
+            match self.split_leaf(&mut guard) {
+                Some((right_arc, sep, left_len, q)) => {
+                    self.metrics.counters.leaf_splits.bump_shared();
+                    leaf_split = Some(PoleSplitEvent {
+                        left: current.clone(),
+                        right: right_arc.clone(),
+                        sep,
+                        left_len,
+                        q,
+                    });
+                    if key >= sep {
+                        // Move to the new right node: lock it (nobody else can
+                        // reach it yet through the tree, but scans via `next`
+                        // can).
+                        let right_guard = RwLock::write_arc(&right_arc);
+                        target_arc = right_arc.clone();
+                        guard = right_guard;
+                    }
+                    self.propagate_split(path, root_guard, sep, right_arc);
+                }
+                None => {
+                    // Uniform-key leaf: no legal separator exists, so the
+                    // leaf absorbs the overflow. A later differing key
+                    // re-opens a boundary and the next insert splits.
+                    drop(path);
+                    drop(root_guard);
+                }
             }
-            self.propagate_split(path, root_guard, sep, right_arc);
         } else {
             drop(path);
             drop(root_guard);
@@ -385,9 +396,18 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
         }
     }
 
-    /// Splits the write-locked leaf 50/50; returns the new right node, the
-    /// separator, the left node's remaining size, and its smallest key.
-    fn split_leaf(&self, guard: &mut WriteGuard<K, V>) -> (NodeRef<K, V>, K, usize, K) {
+    /// Splits the write-locked leaf near the midpoint; returns the new right
+    /// node, the separator, the left node's remaining size, and its smallest
+    /// key.
+    ///
+    /// The cut is placed at the strict key boundary nearest the midpoint so
+    /// a duplicate run never straddles the separator: routing sends
+    /// `key == sep` right, so every instance of a key must live right of any
+    /// separator equal to it, and separators stay strictly ascending in the
+    /// parents. A leaf holding a single repeated key has no legal cut and
+    /// returns `None` — the caller lets it absorb the overflow (the lazy
+    /// trade-off for duplicate-heavy runs, mirroring lazy deletes).
+    fn split_leaf(&self, guard: &mut WriteGuard<K, V>) -> Option<(NodeRef<K, V>, K, usize, K)> {
         let CNode::Leaf {
             keys,
             vals,
@@ -399,8 +419,11 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
             unreachable!("split_leaf on a leaf");
         };
         let mid = keys.len() / 2;
-        let right_keys = keys.split_off(mid);
-        let right_vals = vals.split_off(mid);
+        let cut = (mid..keys.len())
+            .find(|&m| keys[m - 1] < keys[m])
+            .or_else(|| (1..mid).rev().find(|&m| keys[m - 1] < keys[m]))?;
+        let right_keys = keys.split_off(cut);
+        let right_vals = vals.split_off(cut);
         let sep = right_keys[0];
         let q = keys[0];
         let right = CNode::Leaf {
@@ -413,7 +436,7 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
         .into_ref();
         *next = Some(right.clone());
         *high = Some(sep);
-        (right, sep, mid, q)
+        Some((right, sep, cut, q))
     }
 
     /// Installs `(sep, right)` into the locked ancestors, splitting upward
@@ -603,10 +626,9 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
                     if pos < keys.len() && keys[pos] == key {
                         return Some(vals[pos].clone());
                     }
-                    // A duplicate run may straddle into this leaf's left
-                    // sibling, but concurrent leaves have no prev pointers;
-                    // right-biased routing plus in-leaf search covers the
-                    // common case, and `range` covers exhaustive reads.
+                    // Boundary-respecting splits keep every instance of a
+                    // key in the one leaf right-biased routing reaches, so
+                    // a miss here is a genuine miss.
                     return None;
                 }
                 CNode::Internal { keys, children } => {
@@ -647,20 +669,20 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
         let root = root_ptr.clone();
         let mut guard = RwLock::read_arc(&root);
         drop(root_ptr);
-        // Descend to the first leaf that can hold an admitted key. A
-        // left-biased descent (`< s`) finds the leftmost leaf that may
-        // contain an inclusive start (duplicates can straddle leaves and
-        // concurrent leaves have no prev pointers); an excluded start
-        // descends right-biased (`<= s`) and lets the chain walk skip the
-        // duplicate run.
+        // Descend to the first leaf that can hold an admitted key. Routing
+        // is right-biased on equality, matching inserts: splits respect key
+        // boundaries, so every instance of the start key lives in the one
+        // leaf this descent reaches; the in-leaf `pos` scan then admits or
+        // skips the run.
         loop {
             let child = match &*guard {
                 CNode::Leaf { .. } => break,
                 CNode::Internal { keys, children } => {
                     let i = match bounds.start_bound() {
                         Bound::Unbounded => 0,
-                        Bound::Included(s) => keys.partition_point(|k| *k < *s),
-                        Bound::Excluded(s) => keys.partition_point(|k| *k <= *s),
+                        Bound::Included(s) | Bound::Excluded(s) => {
+                            keys.partition_point(|k| *k <= *s)
+                        }
                     };
                     children[i].clone()
                 }
@@ -685,6 +707,164 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
     /// a time).
     pub fn collect_all(&self) -> Vec<(K, V)> {
         self.range(..).collect()
+    }
+
+    /// Structural self-check for tests and the differential testkit.
+    ///
+    /// Verifies under read locks (call on a quiesced tree — concurrent
+    /// writers would race the walk, not corrupt it):
+    ///
+    /// - internal nodes: ascending separator keys, `children == keys + 1`,
+    ///   every subtree within its routing window;
+    /// - leaves: ascending keys that respect the leaf's own `low`/`high`
+    ///   separator bounds (the metadata the lock-free-adjacent fast path
+    ///   relies on);
+    /// - the leaf chain: non-decreasing keys across consecutive leaves;
+    /// - total entries along the chain equal to [`ConcurrentTree::len`].
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let root = self.root.read().clone();
+        check_node(&root, None, None)?;
+        // Descend to the leftmost leaf, then walk the chain.
+        let mut node = root;
+        loop {
+            let first_child = {
+                let guard = node.read();
+                match &*guard {
+                    CNode::Internal { children, .. } => children
+                        .first()
+                        .cloned()
+                        .ok_or_else(|| "internal node with no children".to_string())?,
+                    CNode::Leaf { .. } => break,
+                }
+            };
+            node = first_child;
+        }
+        let mut total = 0usize;
+        let mut prev_last: Option<K> = None;
+        let mut leaf = Some(node);
+        while let Some(l) = leaf {
+            let guard = l.read();
+            let CNode::Leaf {
+                keys, vals, next, ..
+            } = &*guard
+            else {
+                return Err("leaf chain reached an internal node".to_string());
+            };
+            if keys.len() != vals.len() {
+                return Err(format!(
+                    "leaf holds {} keys but {} values",
+                    keys.len(),
+                    vals.len()
+                ));
+            }
+            if let (Some(prev), Some(first)) = (prev_last, keys.first()) {
+                if *first < prev {
+                    return Err(format!("leaf chain regresses: {first:?} follows {prev:?}"));
+                }
+            }
+            prev_last = keys.last().copied().or(prev_last);
+            total += keys.len();
+            leaf = next.clone();
+        }
+        if total != self.len() {
+            return Err(format!(
+                "leaf chain holds {total} entries but len() reports {}",
+                self.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Recursive helper for [`ConcurrentTree::check_consistency`]: validates a
+/// subtree against its routing window `[low, high)`.
+fn check_node<K: Key, V>(
+    node: &NodeRef<K, V>,
+    low: Option<K>,
+    high: Option<K>,
+) -> Result<(), String> {
+    let guard = node.read();
+    match &*guard {
+        CNode::Internal { keys, children } => {
+            if children.len() != keys.len() + 1 {
+                return Err(format!(
+                    "internal node with {} separators but {} children",
+                    keys.len(),
+                    children.len()
+                ));
+            }
+            for pair in keys.windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(format!(
+                        "internal separators not ascending: {:?} >= {:?}",
+                        pair[0], pair[1]
+                    ));
+                }
+            }
+            if let (Some(lo), Some(first)) = (low, keys.first()) {
+                if *first < lo {
+                    return Err(format!("separator {first:?} below window low {lo:?}"));
+                }
+            }
+            if let (Some(hi), Some(last)) = (high, keys.last()) {
+                if *last > hi {
+                    return Err(format!("separator {last:?} above window high {hi:?}"));
+                }
+            }
+            for (i, child) in children.iter().enumerate() {
+                let lo = if i == 0 { low } else { Some(keys[i - 1]) };
+                let hi = if i == keys.len() { high } else { Some(keys[i]) };
+                check_node(child, lo, hi)?;
+            }
+            Ok(())
+        }
+        CNode::Leaf {
+            keys,
+            low: leaf_low,
+            high: leaf_high,
+            ..
+        } => {
+            for pair in keys.windows(2) {
+                if pair[0] > pair[1] {
+                    return Err(format!(
+                        "leaf keys out of order: {:?} > {:?}",
+                        pair[0], pair[1]
+                    ));
+                }
+            }
+            // The leaf's own recorded bounds gate fast-path inserts; every
+            // key must satisfy them (`low` inclusive, `high` exclusive —
+            // boundary-respecting splits guarantee no key ever equals the
+            // high bound), and they must not be wider than the routing
+            // window that reaches this leaf.
+            if let (Some(lo), Some(first)) = (leaf_low, keys.first()) {
+                if first < lo {
+                    return Err(format!("leaf key {first:?} below its low bound {lo:?}"));
+                }
+            }
+            if let (Some(hi), Some(last)) = (leaf_high, keys.last()) {
+                if last >= hi {
+                    return Err(format!(
+                        "leaf key {last:?} at or above its high bound {hi:?}"
+                    ));
+                }
+            }
+            if let (Some(win), Some(first)) = (low, keys.first()) {
+                if *first < win {
+                    return Err(format!(
+                        "leaf key {first:?} below routing window low {win:?}"
+                    ));
+                }
+            }
+            if let (Some(win), Some(last)) = (high, keys.last()) {
+                if *last >= win {
+                    return Err(format!(
+                        "leaf key {last:?} at or above routing window high {win:?}"
+                    ));
+                }
+            }
+            Ok(())
+        }
     }
 }
 

@@ -368,7 +368,15 @@ impl<K: Key, V> BpTree<K, V> {
             self.fp.prev_min = Some(q);
             self.fp.prev_size = pos;
             self.fp.leaf = Some(right);
-            self.fp.min = Some(sep);
+            // `inject-split-bug` (testkit mutation smoke check only) leaves
+            // the stale pre-split lower bound in place, so a later key in
+            // `[old_min, sep)` fast-inserts into the right node below its
+            // separator — exactly the class of bound bug the differential
+            // oracle must catch and shrink.
+            #[cfg(not(feature = "inject-split-bug"))]
+            {
+                self.fp.min = Some(sep);
+            }
             // Keep any outstanding poℓe_next: it is still the right
             // neighbour of the advanced poℓe.
             self.fp.size = self.leaf_len(right);

@@ -96,12 +96,6 @@ pub trait SortedIndex<K: Key, V: Clone> {
     /// between the ingest and query phases of an experiment). Contents are
     /// untouched.
     fn reset_metrics(&self);
-
-    /// Point-in-time snapshot of the operation counters.
-    #[deprecated(since = "0.3.0", note = "use `metrics()` instead")]
-    fn stats_snapshot(&self) -> StatsSnapshot {
-        self.metrics()
-    }
 }
 
 impl<K: Key, V: Clone> SortedIndex<K, V> for BpTree<K, V> {
@@ -182,16 +176,5 @@ mod tests {
             crate::stats::StatsSnapshot::default()
         );
         assert_eq!(t.len(), 100, "reset_metrics leaves contents alone");
-    }
-
-    #[test]
-    fn deprecated_shim_forwards() {
-        let mut t = BpTree::<u64, u64>::quit();
-        for k in 0..10u64 {
-            SortedIndex::insert(&mut t, k, k);
-        }
-        #[allow(deprecated)]
-        let snap = SortedIndex::<u64, u64>::stats_snapshot(&t);
-        assert_eq!(snap, SortedIndex::<u64, u64>::metrics(&t));
     }
 }

@@ -1,0 +1,119 @@
+//! Edge coverage for delete-rebalancing (§4.4) and the fast-path reset
+//! threshold (§4.3): borrow-vs-merge at minimum occupancy, root collapse
+//! back to a single leaf, and `T_R = ⌊√leaf_capacity⌋` firing on exactly
+//! the `T_R`-th consecutive failed top-insert.
+
+use quit_core::{BpTree, TreeConfig, Variant};
+
+/// Classic tree, leaf capacity 4 (min occupancy 2), keys 0..=7 inserted in
+/// order. The 50/50 split rule leaves the layout `[0,1] [2,3] [4,5,6,7]`,
+/// which the tests below rely on to steer a deletion into a borrow or a
+/// merge deterministically.
+fn classic_three_leaves() -> BpTree<u64, u64> {
+    let mut t: BpTree<u64, u64> = Variant::Classic.build(TreeConfig::small(4));
+    for k in 0..=7u64 {
+        t.insert(k, k * 10);
+    }
+    assert_eq!(t.height(), 2, "three leaves under one internal root");
+    t
+}
+
+#[test]
+fn underflow_borrows_from_a_rich_sibling() {
+    let mut t = classic_three_leaves();
+    // Deleting 2 under-fills the middle leaf [2,3]; its left sibling [0,1]
+    // sits at minimum occupancy, but the right sibling [4,5,6,7] is rich,
+    // so rebalancing must borrow — not merge.
+    assert_eq!(t.delete(2), Some(20));
+    assert_eq!(t.stats().leaf_borrows.get(), 1, "borrow taken");
+    assert_eq!(t.stats().leaf_merges.get(), 0, "no merge needed");
+    t.check_invariants().unwrap();
+    let keys: Vec<u64> = t.iter().map(|(k, _)| k).collect();
+    assert_eq!(keys, [0, 1, 3, 4, 5, 6, 7]);
+}
+
+#[test]
+fn underflow_merges_when_no_sibling_can_donate() {
+    let mut t = classic_three_leaves();
+    // Deleting 0 under-fills the leftmost leaf [0,1]; its only sibling
+    // [2,3] is itself at minimum occupancy, so the two must merge.
+    assert_eq!(t.delete(0), Some(0));
+    assert_eq!(t.stats().leaf_merges.get(), 1, "merge taken");
+    assert_eq!(t.stats().leaf_borrows.get(), 0, "no donor existed");
+    t.check_invariants().unwrap();
+    let keys: Vec<u64> = t.iter().map(|(k, _)| k).collect();
+    assert_eq!(keys, [1, 2, 3, 4, 5, 6, 7]);
+}
+
+#[test]
+fn draining_the_tree_collapses_the_root_to_a_leaf() {
+    let mut t: BpTree<u64, u64> = Variant::Classic.build(TreeConfig::small(4));
+    for k in 0..64u64 {
+        t.insert(k, k);
+    }
+    assert!(t.height() >= 3, "start from a tree with internal levels");
+    // Cascading merges must shed every internal level on the way down.
+    for k in 0..62u64 {
+        assert_eq!(t.delete(k), Some(k));
+        t.check_invariants().unwrap();
+    }
+    assert_eq!(t.height(), 1, "root collapsed back to a single leaf");
+    assert_eq!(t.len(), 2);
+    let keys: Vec<u64> = t.iter().map(|(k, _)| k).collect();
+    assert_eq!(keys, [62, 63]);
+    // And all the way to empty: the root leaf simply stays.
+    assert_eq!(t.delete(62), Some(62));
+    assert_eq!(t.delete(63), Some(63));
+    assert_eq!(t.height(), 1);
+    assert!(t.is_empty());
+    t.check_invariants().unwrap();
+}
+
+/// Builds a QuIT tree whose poℓe is the tail leaf (ascending ingest), so a
+/// low-key insert is a guaranteed failed top-insert: it is not covered, and
+/// the poℓe's chain successor is `None`, so catch-up can never promote.
+fn quit_with_tail_pole() -> BpTree<u64, u64> {
+    // Capacity 16 → T_R = ⌊√16⌋ = 4 (set automatically by `small`).
+    let mut t: BpTree<u64, u64> = Variant::Quit.build(TreeConfig::small(16));
+    assert_eq!(TreeConfig::default_reset_threshold(16), 4);
+    for k in 100..200u64 {
+        t.insert(k, k);
+    }
+    assert_eq!(t.stats().fp_resets.get(), 0, "in-order ingest never resets");
+    t
+}
+
+#[test]
+fn reset_fires_exactly_on_the_fourth_consecutive_top_insert() {
+    let mut t = quit_with_tail_pole();
+    // T_R − 1 = 3 failed top-inserts: no reset yet.
+    for k in [1u64, 2, 3] {
+        t.insert(k, k);
+        assert_eq!(t.stats().fp_resets.get(), 0, "below threshold after {k}");
+    }
+    // The 4th consecutive failure crosses T_R and must fire the reset.
+    t.insert(4, 4);
+    assert_eq!(t.stats().fp_resets.get(), 1, "reset on the T_R-th failure");
+    t.check_invariants().unwrap();
+}
+
+#[test]
+fn fast_insert_clears_the_consecutive_failure_count() {
+    let mut t = quit_with_tail_pole();
+    for k in [1u64, 2, 3] {
+        t.insert(k, k);
+    }
+    // A covered (fast-path) insert lands in the tail poℓe and zeroes the
+    // failure streak...
+    t.insert(1_000, 1);
+    assert_eq!(t.stats().fp_resets.get(), 0);
+    // ...so the next three failures still sit below T_R; only a fourth
+    // fires.
+    for k in [10u64, 11, 12] {
+        t.insert(k, k);
+        assert_eq!(t.stats().fp_resets.get(), 0, "streak restarted, at {k}");
+    }
+    t.insert(13, 13);
+    assert_eq!(t.stats().fp_resets.get(), 1);
+    t.check_invariants().unwrap();
+}

@@ -260,6 +260,30 @@ impl<K: Key + Hash, V: Clone> SaBpTree<K, V> {
     pub fn buffered_len(&self) -> usize {
         self.buffer.len()
     }
+
+    /// Structural self-check for tests and the differential testkit: the
+    /// inner B+-tree's full invariant suite plus buffer accounting (the
+    /// buffer never exceeds its capacity, and tree + buffer entries add up
+    /// to [`SaBpTree::len`]).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.tree.check_invariants().map_err(|e| e.to_string())?;
+        if self.buffer.len() > self.config.buffer_capacity {
+            return Err(format!(
+                "buffer holds {} entries, over its capacity {}",
+                self.buffer.len(),
+                self.config.buffer_capacity
+            ));
+        }
+        if self.tree.len() + self.buffer.len() != self.len() {
+            return Err(format!(
+                "tree ({}) + buffer ({}) != len ({})",
+                self.tree.len(),
+                self.buffer.len(),
+                self.len()
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl<K: Key + Hash, V: Clone> quit_core::SortedIndex<K, V> for SaBpTree<K, V> {

@@ -1,0 +1,41 @@
+//! Differential fuzzing and shrinking testkit for the Quick Insertion
+//! Tree workspace.
+//!
+//! One oracle harness for every index family: a structure-aware
+//! [`WorkloadSpec`] generates op sequences (insert / batched insert / get /
+//! delete / range / bulk load / metrics reset) with the paper's BoDS
+//! sortedness knobs, and [`replay`] executes each sequence against a
+//! `BTreeMap` model and against `BpTree`, `SaBpTree`, and `ConcurrentTree`
+//! simultaneously, re-checking every family's structural invariants as it
+//! goes. [`WorkloadStrategy`] plugs the generator into the vendored
+//! `proptest` engine, whose delta-debugging shrinker and
+//! `.proptest-regressions` persistence turn any divergence into a small,
+//! replayable counterexample.
+//!
+//! The harness proves it can catch real bugs via a mutation smoke check:
+//! building with `--features inject-split-bug` enables a deliberately
+//! wrong Fig 7a split bound in `quit-core`, and `tests/mutation_smoke.rs`
+//! asserts the oracle detects it and shrinks the trigger to a tiny op
+//! sequence.
+//!
+//! Longer soaks scale with the `QUIT_FUZZ_CASES` environment variable (see
+//! [`fuzz_cases`]).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod oracle;
+mod workload;
+
+pub use oracle::{replay, replay_guarded, Divergence, OracleConfig, ReplayReport};
+pub use workload::{Op, OpMix, WorkloadSpec, WorkloadStrategy, MAX_BATCH, MAX_BULK};
+
+/// Number of fuzz cases to run: `QUIT_FUZZ_CASES` when set and parseable,
+/// else `default_cases`. CI pins the default (~30 s budget); local soaks
+/// export `QUIT_FUZZ_CASES=500` for an overnight run.
+pub fn fuzz_cases(default_cases: usize) -> usize {
+    std::env::var("QUIT_FUZZ_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default_cases)
+}

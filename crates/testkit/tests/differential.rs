@@ -1,0 +1,85 @@
+//! The differential fuzz suite CI runs: fixed-seed soaks replaying ≥ 50k
+//! mixed ops per index family against the `BTreeMap` model, plus a
+//! proptest-driven run that exercises the shrinking/persistence path on
+//! freshly sampled workloads.
+//!
+//! Scale it up locally with `QUIT_FUZZ_CASES` (each case adds one
+//! seed × knob grid sweep, ~5.5k ops).
+
+// The injected split bug (mutation smoke check) intentionally breaks these
+// properties; cargo's feature unification applies it to the whole test run,
+// so the clean differential suite steps aside. See tests/mutation_smoke.rs.
+#![cfg(not(feature = "inject-split-bug"))]
+
+use proptest::prelude::*;
+use quit_testkit::{fuzz_cases, replay, OpMix, OracleConfig, WorkloadSpec, WorkloadStrategy};
+
+/// Knob grid: (K fraction, L fraction) pairs covering sorted, near-sorted,
+/// locally scrambled, and fully random ingest — the BoDS regimes of §5.
+const KL_GRID: [(f64, f64); 5] = [(0.0, 1.0), (0.05, 1.0), (0.2, 0.25), (0.5, 1.0), (1.0, 0.1)];
+
+/// ≥ 50k mixed ops per family at fixed seeds, across the K/L grid, two op
+/// mixes, and two tree geometries.
+#[test]
+fn fixed_seed_soak() {
+    let cases = fuzz_cases(10);
+    let geometries = [
+        OracleConfig::default(),
+        OracleConfig {
+            leaf_capacity: 4,
+            buffer_capacity: 8,
+            check_every: 128,
+        },
+    ];
+    let mut total_ops = 0usize;
+    for case in 0..cases {
+        for (g, (k, l)) in KL_GRID.iter().enumerate() {
+            let spec = WorkloadSpec {
+                ops: 560,
+                k_fraction: *k,
+                l_fraction: *l,
+                seed: 0xD1FF_0000 ^ ((case as u64) << 8) ^ g as u64,
+                mix: if (case + g).is_multiple_of(2) {
+                    OpMix::mixed()
+                } else {
+                    OpMix::ingest_heavy()
+                },
+                dup_fraction: 0.08,
+            };
+            let ops = spec.generate();
+            for cfg in &geometries {
+                let report =
+                    replay(&ops, cfg).unwrap_or_else(|d| panic!("case {case} K={k} L={l}: {d}"));
+                total_ops += report.ops;
+            }
+        }
+    }
+    // 10 cases × 5 grid points × 2 geometries × 560 ops = 56k per family.
+    assert!(
+        total_ops >= 50_000 || cases < 10,
+        "soak must replay ≥ 50k ops per family, got {total_ops}"
+    );
+    eprintln!("differential soak: {total_ops} ops per family, no divergence");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Freshly sampled workloads (random length, K/L knobs, mix) replay
+    /// clean through the full oracle. On failure this shrinks to a minimal
+    /// op list and persists the seed next to this file.
+    #[test]
+    fn sampled_workloads_replay_clean(ops in WorkloadStrategy::mixed(400)) {
+        let report = replay(&ops, &OracleConfig::default())
+            .unwrap_or_else(|d| panic!("{d}"));
+        assert_eq!(report.ops, ops.len());
+    }
+
+    /// Same, at the smallest legal geometry where structural edge cases
+    /// (splits, merges, root collapse, buffer flushes) fire constantly.
+    #[test]
+    fn sampled_workloads_replay_clean_tiny_nodes(ops in WorkloadStrategy::ingest_heavy(250)) {
+        let cfg = OracleConfig { leaf_capacity: 4, buffer_capacity: 8, check_every: 32 };
+        replay(&ops, &cfg).unwrap_or_else(|d| panic!("{d}"));
+    }
+}

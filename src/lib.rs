@@ -8,10 +8,13 @@
 //! * [`quit_concurrent`] — the lock-crabbing concurrent tree (§4.5).
 //! * [`sware`] — the SWARE SA-B+-tree baseline.
 //! * [`bods`] — K–L-sortedness workload generation and measurement.
+//! * [`quit_testkit`] — the differential fuzzing & shrinking oracle
+//!   (workload generation + model replay across all families).
 
 #![warn(missing_docs)]
 
 pub use bods;
 pub use quit_concurrent;
 pub use quit_core;
+pub use quit_testkit;
 pub use sware;

@@ -8,8 +8,35 @@ use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+/// One base seed for the whole stress run, printed so any failure is
+/// reproducible: rerun with `QUIT_STRESS_SEED=<seed>`. When the variable is
+/// unset, the seed varies per run (wall-clock derived) so repeated CI runs
+/// explore different streams and interleavings.
+fn base_seed() -> u64 {
+    let seed = std::env::var("QUIT_STRESS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0x5EED)
+        });
+    eprintln!("concurrent_stress base seed: {seed} (rerun with QUIT_STRESS_SEED={seed})");
+    seed
+}
+
+/// Derives an independent per-thread seed from the base (SplitMix64 mix).
+fn thread_seed(base: u64, thread: u64) -> u64 {
+    let mut z = base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(thread.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 #[test]
 fn heavy_mixed_load_ends_consistent() {
+    let stress_seed = base_seed();
     let tree: Arc<ConcurrentTree<u64, u64>> = Arc::new(ConcurrentTree::new(ConcConfig::small(16)));
     let writers = 6;
     let per = 5_000u64;
@@ -20,7 +47,7 @@ fn heavy_mixed_load_ends_consistent() {
         handles.push(std::thread::spawn(move || {
             // Each writer ingests a near-sorted stream over its own range.
             let keys = BodsSpec::new(per as usize, 0.05, 1.0)
-                .with_seed(w)
+                .with_seed(thread_seed(stress_seed, w))
                 .generate();
             let base = w * 10_000_000;
             for k in keys {
@@ -96,7 +123,10 @@ fn contended_tail_inserts_keep_every_entry() {
 
 #[test]
 fn classic_and_quit_modes_agree_under_concurrency() {
-    let keys = BodsSpec::new(30_000, 0.25, 1.0).generate();
+    let stress_seed = base_seed();
+    let keys = BodsSpec::new(30_000, 0.25, 1.0)
+        .with_seed(thread_seed(stress_seed, 0))
+        .generate();
     let results: Vec<Vec<(u64, u64)>> = [true, false]
         .into_iter()
         .map(|pole| {

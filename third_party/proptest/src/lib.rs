@@ -4,35 +4,77 @@
 //! small API-compatible property-testing harness: deterministic random input
 //! generation through the [`strategy::Strategy`] trait, the [`proptest!`],
 //! [`prop_oneof!`], [`prop_assert!`], and [`prop_assert_eq!`] macros, integer
-//! range / tuple / `vec` / `any::<T>()` strategies, and a per-test case count
-//! via `ProptestConfig::with_cases`.
+//! range / tuple / [`collection::vec`] / `any::<T>()` strategies, and a
+//! per-test case count via `ProptestConfig::with_cases`.
 //!
-//! Differences from real proptest, by design:
-//! - no shrinking — a failing case panics with the generated inputs instead
-//!   of a minimized counterexample;
-//! - no persistence — `*.proptest-regressions` files are not read or
-//!   written (failures reproduce via the fixed per-test seed).
+//! Unlike the original generate-only stub, this version is a real engine:
+//!
+//! - **Shrinking.** Failing cases are minimized by greedy delta debugging:
+//!   [`strategy::Strategy::shrink`] proposes one round of strictly simpler
+//!   candidate values (chunk removal then per-element minimization for
+//!   `Vec`s, bisection toward the range start for integers, component-wise
+//!   substitution for tuples), and the runner repeatedly adopts the first
+//!   candidate that still fails until it reaches a local minimum or exhausts
+//!   [`test_runner::Config::max_shrink_iters`].
+//! - **Persistence.** Each case is generated from its own `u64` seed. When a
+//!   case fails, its seed is appended to a `<source>.proptest-regressions`
+//!   file next to the test source (`cc <hex-seed>` lines, mirroring upstream
+//!   proptest's file format); persisted seeds are replayed before any fresh
+//!   cases on subsequent runs, so a fixed bug stays fixed.
+//!
+//! Remaining differences from real proptest, by design:
+//!
+//! - `prop_map` cannot shrink: the mapping function is not invertible, so
+//!   mapped strategies return no shrink candidates. Strategies that need
+//!   high-quality shrinking (e.g. the workload generator in `quit-testkit`)
+//!   implement [`strategy::Strategy`] directly instead.
+//! - Shrinking replays the test body under `std::panic::catch_unwind`, so
+//!   panic backtraces from intermediate candidates may appear in captured
+//!   test output before the final minimized report.
 
 pub mod test_runner {
-    //! Test configuration and the deterministic generator behind it.
+    //! Test configuration, the deterministic generator, and the shrinking
+    //! [`Runner`] with regression-file persistence.
+
+    use crate::strategy::Strategy;
+    use std::fmt::{Debug, Write as _};
+    use std::path::{Path, PathBuf};
 
     /// Per-test configuration, mirroring `proptest::test_runner::Config`.
     #[derive(Clone, Debug)]
     pub struct Config {
         /// Number of random cases to run per property.
         pub cases: u32,
+        /// Upper bound on shrink candidates tested after a failure.
+        pub max_shrink_iters: u32,
     }
 
     impl Config {
         /// A config running `cases` random cases.
         pub fn with_cases(cases: u32) -> Self {
-            Config { cases }
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+
+        /// Returns `self` with a different shrink-candidate budget.
+        pub fn with_shrink_iters(mut self, max_shrink_iters: u32) -> Self {
+            self.max_shrink_iters = max_shrink_iters;
+            self
         }
     }
 
     impl Default for Config {
         fn default() -> Self {
-            Config { cases: 64 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(64);
+            Config {
+                cases,
+                max_shrink_iters: 10_000,
+            }
         }
     }
 
@@ -54,6 +96,12 @@ pub mod test_runner {
             TestRng { state }
         }
 
+        /// Seeds the stream from a raw `u64`, as persisted in a
+        /// `.proptest-regressions` file.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
         /// Next raw random word.
         pub fn next_u64(&mut self) -> u64 {
             self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -69,17 +117,324 @@ pub mod test_runner {
             self.next_u64() % bound
         }
     }
+
+    /// Everything known about one failing property case, after shrinking.
+    #[derive(Clone, Debug)]
+    pub struct Failure<V> {
+        /// The case seed; regenerates the *original* (unshrunk) input.
+        pub seed: u64,
+        /// The input as originally generated from `seed`.
+        pub original: V,
+        /// The minimized counterexample shrinking arrived at.
+        pub minimal: V,
+        /// Failure message of the minimal case (panic payload or `Err`).
+        pub message: String,
+        /// How many shrink candidates were tested.
+        pub shrink_iters: u32,
+        /// True when `seed` was replayed from a persisted regressions file
+        /// rather than freshly generated.
+        pub replayed: bool,
+        /// Regressions file the seed was recorded in, when persistence is
+        /// active.
+        pub persisted_to: Option<PathBuf>,
+    }
+
+    impl<V: Debug> Failure<V> {
+        /// Renders a human-readable multi-line failure report.
+        pub fn report(&self, test_name: &str) -> String {
+            let mut out = String::new();
+            let _ = writeln!(out, "proptest: test '{test_name}' failed");
+            let _ = writeln!(out, "  message: {}", self.message);
+            let _ = writeln!(
+                out,
+                "  seed: {:016x}{}",
+                self.seed,
+                if self.replayed {
+                    " (replayed from regressions file)"
+                } else {
+                    ""
+                }
+            );
+            if let Some(p) = &self.persisted_to {
+                let _ = writeln!(out, "  persisted to: {}", p.display());
+            }
+            let _ = writeln!(
+                out,
+                "  minimal counterexample (after {} shrink iters): {:?}",
+                self.shrink_iters, self.minimal
+            );
+            out
+        }
+
+        /// Panics with [`Failure::report`]; used by the [`crate::proptest!`]
+        /// macro.
+        pub fn panic_with_report(&self, test_name: &str) -> ! {
+            panic!("{}", self.report(test_name));
+        }
+    }
+
+    /// Extracts a printable message from a caught panic payload.
+    pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "panic with non-string payload".to_string()
+        }
+    }
+
+    /// Drives a property: replays persisted regression seeds, generates
+    /// fresh cases, and shrinks + persists the first failure.
+    ///
+    /// The [`crate::proptest!`] macro builds one of these per test; the
+    /// differential testkit also uses it programmatically to inspect
+    /// [`Failure`] values (e.g. the mutation smoke check asserting that an
+    /// injected bug shrinks below a size bound).
+    pub struct Runner {
+        label: String,
+        config: Config,
+        regressions: Option<PathBuf>,
+    }
+
+    impl Runner {
+        /// A runner with no regression-file persistence.
+        pub fn new(label: impl Into<String>, config: Config) -> Self {
+            Runner {
+                label: label.into(),
+                config,
+                regressions: None,
+            }
+        }
+
+        /// A runner persisting to `<source_file minus extension>.proptest-regressions`,
+        /// resolving the `file!()`-relative path against the current
+        /// directory and the `CARGO_MANIFEST_DIR` ancestry (cargo runs test
+        /// binaries with the package root as cwd while `file!()` is
+        /// workspace-root-relative).
+        pub fn for_source(label: impl Into<String>, source_file: &str, config: Config) -> Self {
+            Runner {
+                label: label.into(),
+                config,
+                regressions: regressions_path_for(source_file),
+            }
+        }
+
+        /// Overrides the regressions file location (e.g. a temp file in
+        /// tests of the persistence machinery itself).
+        pub fn with_regressions_file(mut self, path: impl Into<PathBuf>) -> Self {
+            self.regressions = Some(path.into());
+            self
+        }
+
+        /// The resolved regressions path, if persistence is active.
+        pub fn regressions_path(&self) -> Option<&Path> {
+            self.regressions.as_deref()
+        }
+
+        /// Runs the property. `test` returns `Err(message)` on failure (the
+        /// macro adapts a panicking body through `catch_unwind`).
+        ///
+        /// Returns the number of cases executed, or the shrunk [`Failure`].
+        pub fn run<S, F>(&self, strategy: &S, test: F) -> Result<u32, Failure<S::Value>>
+        where
+            S: Strategy,
+            S::Value: Clone + Debug,
+            F: Fn(&S::Value) -> Result<(), String>,
+        {
+            let mut executed = 0u32;
+            // Replay persisted regression seeds before any fresh cases.
+            if let Some(path) = &self.regressions {
+                for seed in read_regression_seeds(path) {
+                    let value = strategy.sample(&mut TestRng::from_seed(seed));
+                    executed += 1;
+                    if let Err(msg) = test(&value) {
+                        return Err(self.fail(strategy, &test, seed, value, msg, true));
+                    }
+                }
+            }
+            let mut seeder = TestRng::from_label(&self.label);
+            for _ in 0..self.config.cases {
+                let seed = seeder.next_u64();
+                let value = strategy.sample(&mut TestRng::from_seed(seed));
+                executed += 1;
+                if let Err(msg) = test(&value) {
+                    return Err(self.fail(strategy, &test, seed, value, msg, false));
+                }
+            }
+            Ok(executed)
+        }
+
+        fn fail<S, F>(
+            &self,
+            strategy: &S,
+            test: &F,
+            seed: u64,
+            original: S::Value,
+            message: String,
+            replayed: bool,
+        ) -> Failure<S::Value>
+        where
+            S: Strategy,
+            S::Value: Clone + Debug,
+            F: Fn(&S::Value) -> Result<(), String>,
+        {
+            let (minimal, message, shrink_iters) = shrink_greedy(
+                strategy,
+                original.clone(),
+                message,
+                test,
+                self.config.max_shrink_iters,
+            );
+            let persisted_to = self.regressions.as_ref().and_then(|path| {
+                persist_regression_seed(path, seed, &minimal)
+                    .ok()
+                    .map(|_| path.clone())
+            });
+            Failure {
+                seed,
+                original,
+                minimal,
+                message,
+                shrink_iters,
+                replayed,
+                persisted_to,
+            }
+        }
+    }
+
+    /// Greedy delta-debugging loop: ask the strategy for one round of
+    /// simpler candidates, adopt the first that still fails, repeat until a
+    /// local minimum or the iteration budget is reached.
+    fn shrink_greedy<S, F>(
+        strategy: &S,
+        mut current: S::Value,
+        mut message: String,
+        test: &F,
+        budget: u32,
+    ) -> (S::Value, String, u32)
+    where
+        S: Strategy,
+        S::Value: Clone,
+        F: Fn(&S::Value) -> Result<(), String>,
+    {
+        let mut iters = 0u32;
+        'outer: while iters < budget {
+            let candidates = strategy.shrink(&current);
+            if candidates.is_empty() {
+                break;
+            }
+            for candidate in candidates {
+                if iters >= budget {
+                    break 'outer;
+                }
+                iters += 1;
+                if let Err(msg) = test(&candidate) {
+                    current = candidate;
+                    message = msg;
+                    continue 'outer;
+                }
+            }
+            break; // every candidate passed: local minimum
+        }
+        (current, message, iters)
+    }
+
+    /// Maps a `file!()` string to its `.proptest-regressions` sibling.
+    ///
+    /// Tries the path as-is (relative to cwd), then joined onto each
+    /// ancestor of `CARGO_MANIFEST_DIR`; a candidate is accepted when the
+    /// file exists or, for first-time writes, when its parent directory
+    /// exists.
+    fn regressions_path_for(source_file: &str) -> Option<PathBuf> {
+        let source = Path::new(source_file);
+        let mut candidates: Vec<PathBuf> = Vec::new();
+        if source.is_absolute() {
+            candidates.push(source.to_path_buf());
+        } else {
+            candidates.push(source.to_path_buf());
+            if let Ok(manifest_dir) = std::env::var("CARGO_MANIFEST_DIR") {
+                let mut dir = Some(Path::new(&manifest_dir));
+                while let Some(d) = dir {
+                    candidates.push(d.join(source));
+                    dir = d.parent();
+                }
+            }
+        }
+        let resolved = candidates.iter().find(|c| c.is_file()).or_else(|| {
+            candidates
+                .iter()
+                .find(|c| c.parent().is_some_and(Path::is_dir))
+        })?;
+        Some(resolved.with_extension("proptest-regressions"))
+    }
+
+    /// Parses `cc <hex-seed>` lines; unknown lines are ignored.
+    fn read_regression_seeds(path: &Path) -> Vec<u64> {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        let mut seeds = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("cc ") {
+                let tok = rest.split_whitespace().next().unwrap_or("");
+                let tok = tok.strip_prefix("0x").unwrap_or(tok);
+                if let Ok(seed) = u64::from_str_radix(tok, 16) {
+                    if !seeds.contains(&seed) {
+                        seeds.push(seed);
+                    }
+                }
+            }
+        }
+        seeds
+    }
+
+    /// Appends a `cc` line for `seed` (unless already present), creating
+    /// the file with an explanatory header on first write.
+    fn persist_regression_seed<V: Debug>(
+        path: &Path,
+        seed: u64,
+        minimal: &V,
+    ) -> std::io::Result<()> {
+        if read_regression_seeds(path).contains(&seed) {
+            return Ok(());
+        }
+        let mut text = if path.is_file() {
+            std::fs::read_to_string(path)?
+        } else {
+            String::from(
+                "# Seeds for failure cases proptest has generated in the past.\n\
+                 # They are automatically read and re-run before any novel cases\n\
+                 # are generated. It is recommended to check this file in to\n\
+                 # source control so that everyone who runs the test benefits\n\
+                 # from these saved cases.\n",
+            )
+        };
+        if !text.is_empty() && !text.ends_with('\n') {
+            text.push('\n');
+        }
+        let mut shrunk: String = format!("{minimal:?}").chars().take(240).collect();
+        shrunk.retain(|c| c != '\n' && c != '\r');
+        let _ = writeln!(text, "cc {seed:016x} # shrinks to {shrunk}");
+        std::fs::write(path, text)
+    }
 }
 
 pub mod strategy {
-    //! Input-generation strategies.
+    //! Input-generation strategies with candidate-based shrinking.
 
     use crate::test_runner::TestRng;
 
     /// A recipe for generating values of `Self::Value`.
     ///
-    /// Unlike real proptest there is no value tree / shrinking; a strategy
-    /// just samples a value from a [`TestRng`].
+    /// Unlike real proptest there is no value tree; a strategy samples a
+    /// value from a [`TestRng`] and, for shrinking, proposes one round of
+    /// strictly simpler candidates via [`Strategy::shrink`]. The runner
+    /// greedily adopts the first candidate that still fails the property
+    /// and asks again, so `shrink` implementations only need to make local
+    /// progress (each candidate simpler than `value`), not enumerate the
+    /// whole lattice.
     pub trait Strategy {
         /// The type of generated values.
         type Value;
@@ -87,7 +442,20 @@ pub mod strategy {
         /// Draws one value.
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
 
+        /// Proposes simpler candidate values, simplest first. Candidates
+        /// must be strictly simpler than `value` under some well-founded
+        /// order, or shrinking may not terminate before the iteration
+        /// budget. The default proposes nothing (no shrinking).
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
+
         /// Maps generated values through `f`.
+        ///
+        /// Mapped strategies cannot shrink: `f` is not invertible, so there
+        /// is no way to turn a candidate of the output back into an input.
+        /// Implement [`Strategy`] directly for types that need shrinking.
         fn prop_map<T, F>(self, f: F) -> Map<Self, F>
         where
             Self: Sized,
@@ -113,9 +481,12 @@ pub mod strategy {
         fn sample(&self, rng: &mut TestRng) -> T {
             (**self).sample(rng)
         }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            (**self).shrink(value)
+        }
     }
 
-    /// Always produces a clone of one value.
+    /// Always produces a clone of one value (already minimal; no shrink).
     #[derive(Clone, Debug)]
     pub struct Just<T: Clone>(pub T);
 
@@ -137,6 +508,7 @@ pub mod strategy {
         fn sample(&self, rng: &mut TestRng) -> T {
             (self.f)(self.inner.sample(rng))
         }
+        // Inherits the empty default `shrink`: `f` is not invertible.
     }
 
     /// Weighted choice between boxed strategies (backs [`crate::prop_oneof!`]).
@@ -166,16 +538,52 @@ pub mod strategy {
             }
             unreachable!("weights sum to total")
         }
+        /// Delegates to every arm; arms guard their own domain (e.g. an
+        /// integer range proposes nothing for a value outside the range).
+        fn shrink(&self, value: &T) -> Vec<T> {
+            self.arms
+                .iter()
+                .flat_map(|(_, s)| s.shrink(value))
+                .collect()
+        }
+    }
+
+    /// Candidate offsets strictly below `d`, simplest (0) first, then
+    /// approaching `d` by halving the remaining distance — the integer
+    /// analogue of delta debugging's bisection.
+    pub(crate) fn offsets_toward_zero(d: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        if d == 0 {
+            return out;
+        }
+        out.push(0);
+        let mut step = d / 2;
+        while step > 0 {
+            out.push(d - step);
+            step /= 2;
+        }
+        out.dedup();
+        out
     }
 
     macro_rules! int_range_strategy {
-        ($($t:ty),*) => {$(
+        ($(($t:ty, $u:ty)),*) => {$(
             impl Strategy for core::ops::Range<$t> {
                 type Value = $t;
                 fn sample(&self, rng: &mut TestRng) -> $t {
                     assert!(self.start < self.end, "empty range strategy");
-                    let span = self.end.wrapping_sub(self.start) as u64;
+                    let span = self.end.wrapping_sub(self.start) as $u as u64;
                     self.start.wrapping_add(rng.below(span) as $t)
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    if !self.contains(value) {
+                        return Vec::new();
+                    }
+                    let d = value.wrapping_sub(self.start) as $u as u64;
+                    offsets_toward_zero(d)
+                        .into_iter()
+                        .map(|o| self.start.wrapping_add(o as $t))
+                        .collect()
                 }
             }
             impl Strategy for core::ops::RangeInclusive<$t> {
@@ -183,43 +591,106 @@ pub mod strategy {
                 fn sample(&self, rng: &mut TestRng) -> $t {
                     let (start, end) = (*self.start(), *self.end());
                     assert!(start <= end, "empty range strategy");
-                    let span = (end.wrapping_sub(start) as u64).wrapping_add(1);
+                    let span = (end.wrapping_sub(start) as $u as u64).wrapping_add(1);
                     if span == 0 {
                         return rng.next_u64() as $t;
                     }
                     start.wrapping_add(rng.below(span) as $t)
                 }
-            }
-        )*};
-    }
-    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
-
-    macro_rules! tuple_strategy {
-        ($(($($s:ident),+))*) => {$(
-            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
-                type Value = ($($s::Value,)+);
-                #[allow(non_snake_case)]
-                fn sample(&self, rng: &mut TestRng) -> Self::Value {
-                    let ($($s,)+) = self;
-                    ($($s.sample(rng),)+)
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    if !self.contains(value) {
+                        return Vec::new();
+                    }
+                    let d = value.wrapping_sub(*self.start()) as $u as u64;
+                    offsets_toward_zero(d)
+                        .into_iter()
+                        .map(|o| self.start().wrapping_add(o as $t))
+                        .collect()
                 }
             }
         )*};
     }
-    tuple_strategy!((A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E));
+    int_range_strategy!(
+        (u8, u8),
+        (u16, u16),
+        (u32, u32),
+        (u64, u64),
+        (usize, usize),
+        (i8, u8),
+        (i16, u16),
+        (i32, u32),
+        (i64, u64),
+        (isize, usize)
+    );
+
+    macro_rules! tuple_strategy {
+        ($(($(($s:ident, $idx:tt)),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+)
+            where
+                $($s::Value: Clone,)+
+            {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+                /// Shrinks one component at a time, keeping the rest fixed.
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for candidate in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = candidate;
+                            out.push(next);
+                        }
+                    )+
+                    out
+                }
+            }
+        )*};
+    }
+    tuple_strategy!(((A, 0))((A, 0), (B, 1))((A, 0), (B, 1), (C, 2))(
+        (A, 0),
+        (B, 1),
+        (C, 2),
+        (D, 3)
+    )((A, 0), (B, 1), (C, 2), (D, 3), (E, 4)));
 }
 
 pub mod arbitrary {
     //! `any::<T>()` support for primitive types.
 
-    use crate::strategy::Strategy;
+    use crate::strategy::{offsets_toward_zero, Strategy};
     use crate::test_runner::TestRng;
 
     /// Types with a canonical full-domain strategy.
     pub trait Arbitrary: Sized {
         /// Samples an unconstrained value.
         fn arbitrary_sample(rng: &mut TestRng) -> Self;
+
+        /// Proposes simpler values (toward a canonical zero); defaults to
+        /// no shrinking.
+        fn arbitrary_shrink(value: &Self) -> Vec<Self> {
+            let _ = value;
+            Vec::new()
+        }
     }
+
+    macro_rules! arb_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_sample(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+                fn arbitrary_shrink(value: &Self) -> Vec<Self> {
+                    offsets_toward_zero(*value as u64)
+                        .into_iter()
+                        .map(|o| o as $t)
+                        .collect()
+                }
+            }
+        )*};
+    }
+    arb_uint!(u8, u16, u32, u64, usize);
 
     macro_rules! arb_int {
         ($($t:ty),*) => {$(
@@ -227,14 +698,29 @@ pub mod arbitrary {
                 fn arbitrary_sample(rng: &mut TestRng) -> $t {
                     rng.next_u64() as $t
                 }
+                /// Shrinks magnitude toward 0, preserving sign.
+                fn arbitrary_shrink(value: &Self) -> Vec<Self> {
+                    let magnitude = value.unsigned_abs() as u64;
+                    offsets_toward_zero(magnitude)
+                        .into_iter()
+                        .map(|o| if *value < 0 { -(o as $t) } else { o as $t })
+                        .collect()
+                }
             }
         )*};
     }
-    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+    arb_int!(i8, i16, i32, i64, isize);
 
     impl Arbitrary for bool {
         fn arbitrary_sample(rng: &mut TestRng) -> bool {
             rng.next_u64() & 1 == 1
+        }
+        fn arbitrary_shrink(value: &Self) -> Vec<Self> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 
@@ -245,6 +731,9 @@ pub mod arbitrary {
         type Value = T;
         fn sample(&self, rng: &mut TestRng) -> T {
             T::arbitrary_sample(rng)
+        }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            T::arbitrary_shrink(value)
         }
     }
 
@@ -307,7 +796,10 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.max - self.size.min) as u64;
@@ -319,11 +811,48 @@ pub mod collection {
                 };
             (0..len).map(|_| self.element.sample(rng)).collect()
         }
+
+        /// Delta debugging: aligned chunk removal (largest chunks first,
+        /// down to single elements), then per-element minimization through
+        /// the element strategy. The minimum length bound is respected.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let n = value.len();
+            let min = self.size.min;
+            let mut out: Vec<Vec<S::Value>> = Vec::new();
+            // Most aggressive candidate first: the minimal-length prefix.
+            if n > min {
+                out.push(value[..min].to_vec());
+            }
+            let mut chunk = n / 2;
+            while chunk >= 1 {
+                let mut start = 0;
+                while start < n {
+                    let end = (start + chunk).min(n);
+                    if end > start && n - (end - start) >= min {
+                        let mut cand = Vec::with_capacity(n - (end - start));
+                        cand.extend_from_slice(&value[..start]);
+                        cand.extend_from_slice(&value[end..]);
+                        out.push(cand);
+                    }
+                    start += chunk;
+                }
+                chunk /= 2;
+            }
+            for (i, v) in value.iter().enumerate() {
+                for cand in self.element.shrink(v) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
+        }
     }
 }
 
 /// Declares property tests: each `fn` runs `config.cases` times over inputs
-/// drawn from the strategies after `in`. Mirrors `proptest::proptest!`.
+/// drawn from the strategies after `in`, with shrinking and regression-file
+/// persistence on failure. Mirrors `proptest::proptest!`.
 #[macro_export]
 macro_rules! proptest {
     (
@@ -351,19 +880,30 @@ macro_rules! __proptest_fns {
         $(#[$meta])*
         fn $name() {
             let __config: $crate::test_runner::Config = $config;
-            let mut __rng = $crate::test_runner::TestRng::from_label(concat!(
-                module_path!(),
-                "::",
-                stringify!($name)
-            ));
-            for __case in 0..__config.cases {
-                let ($($pat,)+) = {
-                    #[allow(unused_imports)]
-                    use $crate::strategy::Strategy as _;
-                    ($( $crate::strategy::Strategy::sample(&($strat), &mut __rng), )+)
-                };
-                let _ = __case;
-                $body
+            let __strategy = ($( $strat, )+);
+            let __runner = $crate::test_runner::Runner::for_source(
+                concat!(module_path!(), "::", stringify!($name)),
+                file!(),
+                __config,
+            );
+            let __outcome = {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                __runner.run(&__strategy, |__value| {
+                    let __caught = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| {
+                            let ($($pat,)+) = ::core::clone::Clone::clone(__value);
+                            $body
+                        }),
+                    );
+                    match __caught {
+                        Ok(()) => Ok(()),
+                        Err(payload) => Err($crate::test_runner::panic_message(payload)),
+                    }
+                })
+            };
+            if let Err(failure) = __outcome {
+                failure.panic_with_report(stringify!($name));
             }
         }
         $crate::__proptest_fns!(($config) $($rest)*);
@@ -385,7 +925,8 @@ macro_rules! prop_oneof {
     };
 }
 
-/// Asserts inside a property (no shrinking; panics like `assert!`).
+/// Asserts inside a property; the panic is caught by the runner, which
+/// shrinks the failing input before reporting.
 #[macro_export]
 macro_rules! prop_assert {
     ($($t:tt)*) => { assert!($($t)*) };
@@ -407,7 +948,7 @@ pub mod prelude {
     //! One-stop imports, mirroring `proptest::prelude`.
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
-    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::{Config as ProptestConfig, Failure, Runner};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 
     /// Namespace alias so `prop::collection::vec(...)` works as in real
@@ -420,6 +961,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use crate::test_runner::{Config, Runner, TestRng};
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
@@ -453,8 +995,145 @@ mod tests {
     fn deterministic_reruns() {
         use crate::strategy::Strategy;
         let s = crate::collection::vec(0..1000u64, 5..50);
-        let mut a = crate::test_runner::TestRng::from_label("x");
-        let mut b = crate::test_runner::TestRng::from_label("x");
+        let mut a = TestRng::from_label("x");
+        let mut b = TestRng::from_label("x");
         assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+
+    #[test]
+    fn seeded_rng_reproduces_cases() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0..1000u64, 5..50);
+        let seed = 0x5eed_cafe_f00d_u64;
+        let a = s.sample(&mut TestRng::from_seed(seed));
+        let b = s.sample(&mut TestRng::from_seed(seed));
+        assert_eq!(a, b);
+    }
+
+    /// A property failing for `x >= 37` must shrink to exactly 37.
+    #[test]
+    fn int_shrinks_to_boundary() {
+        let runner = Runner::new("int_shrinks_to_boundary", Config::with_cases(64));
+        let strategy = (0..1000u64,);
+        let failure = runner
+            .run(&strategy, |&(x,)| {
+                if x >= 37 {
+                    Err(format!("{x} >= 37"))
+                } else {
+                    Ok(())
+                }
+            })
+            .expect_err("property must fail");
+        assert_eq!(failure.minimal.0, 37, "report: {}", failure.report("t"));
+    }
+
+    /// Delta debugging drops irrelevant elements and minimizes the rest:
+    /// a sum-threshold failure must shrink to a vector summing exactly to
+    /// the threshold with no removable element.
+    #[test]
+    fn vec_shrinks_to_minimal_witness() {
+        let runner = Runner::new("vec_shrinks_to_minimal_witness", Config::with_cases(64));
+        let strategy = (crate::collection::vec(0..100u64, 0..20),);
+        let failure = runner
+            .run(&strategy, |(v,)| {
+                if v.iter().sum::<u64>() >= 25 {
+                    Err("sum over threshold".into())
+                } else {
+                    Ok(())
+                }
+            })
+            .expect_err("property must fail");
+        let minimal = &failure.minimal.0;
+        assert_eq!(minimal.iter().sum::<u64>(), 25, "minimal: {minimal:?}");
+        assert!(minimal.iter().all(|&x| x > 0), "minimal: {minimal:?}");
+    }
+
+    /// Tuple shrinking minimizes components jointly to the boundary.
+    #[test]
+    fn tuple_shrinks_componentwise() {
+        let runner = Runner::new("tuple_shrinks_componentwise", Config::with_cases(64));
+        let strategy = (0..100u64, 0..100u64);
+        let failure = runner
+            .run(&strategy, |&(a, b)| {
+                if a + b >= 50 {
+                    Err("over".into())
+                } else {
+                    Ok(())
+                }
+            })
+            .expect_err("property must fail");
+        let (a, b) = failure.minimal;
+        assert_eq!(a + b, 50, "minimal: ({a}, {b})");
+    }
+
+    /// Failing seeds round-trip through the regressions file: the second
+    /// run replays the persisted seed first and reproduces the same
+    /// minimal counterexample.
+    #[test]
+    fn regressions_file_round_trips() {
+        let path = std::env::temp_dir().join(format!(
+            "proptest-stub-roundtrip-{}.proptest-regressions",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let strategy = (0..1000u64,);
+        let test = |&(x,): &(u64,)| {
+            if x >= 500 {
+                Err("big".to_string())
+            } else {
+                Ok(())
+            }
+        };
+
+        let first = Runner::new("round_trip", Config::with_cases(64))
+            .with_regressions_file(&path)
+            .run(&strategy, test)
+            .expect_err("must fail");
+        assert!(!first.replayed);
+        assert_eq!(first.minimal.0, 500);
+        assert_eq!(first.persisted_to.as_deref(), Some(path.as_path()));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains(&format!("cc {:016x}", first.seed)), "{text}");
+
+        // A different label would generate different fresh cases, but the
+        // persisted seed is replayed before any of them.
+        let second = Runner::new("round_trip_other_label", Config::with_cases(64))
+            .with_regressions_file(&path)
+            .run(&strategy, test)
+            .expect_err("must fail again");
+        assert!(second.replayed);
+        assert_eq!(second.seed, first.seed);
+        assert_eq!(second.minimal.0, first.minimal.0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Stale regression entries for now-passing properties are harmless:
+    /// the run replays them, they pass, and fresh cases proceed.
+    #[test]
+    fn stale_regression_seed_passes() {
+        let path = std::env::temp_dir().join(format!(
+            "proptest-stub-stale-{}.proptest-regressions",
+            std::process::id()
+        ));
+        std::fs::write(&path, "cc 00000000deadbeef # shrinks to 7\n").unwrap();
+        let cases = Runner::new("stale_seed", Config::with_cases(8))
+            .with_regressions_file(&path)
+            .run(&(0..1000u64,), |_| Ok(()))
+            .expect("passing property");
+        assert_eq!(cases, 8 + 1, "replayed seed counts as an executed case");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Union shrinking respects arm domains: a value can only shrink
+    /// within the arm that could have produced it.
+    #[test]
+    fn union_shrink_guards_domains() {
+        use crate::strategy::Strategy;
+        let u = prop_oneof![1 => 0..5u64, 1 => 100..200u64];
+        for cand in u.shrink(&150) {
+            assert!((0..5).contains(&cand) || (100..200).contains(&cand));
+        }
+        // 100 is the minimum of its arm; the other arm offers 0..5.
+        assert!(u.shrink(&100).iter().all(|&c| c < 5));
     }
 }
