@@ -9,82 +9,10 @@
 //! sample per insert.
 
 use bods::BodsSpec;
-use quit_bench::{pct, Opts};
+use quit_bench::{json_is_valid, pct, Opts};
 use quit_concurrent::{ConcConfig, ConcurrentTree};
 use quit_core::{MetricsLevel, StatsSnapshot, Variant};
 use std::sync::Arc;
-
-/// Minimal JSON validity checker (objects, arrays, strings without escapes
-/// beyond `\"`, numbers, booleans, null). Returns the byte position after
-/// the value, or `None` on malformed input. Deliberately dependency-free:
-/// the exporter it guards is hand-rolled too.
-fn skip_value(b: &[u8], mut i: usize) -> Option<usize> {
-    while b.get(i) == Some(&b' ') {
-        i += 1;
-    }
-    match *b.get(i)? {
-        b'{' => {
-            i += 1;
-            if b.get(i) == Some(&b'}') {
-                return Some(i + 1);
-            }
-            loop {
-                i = skip_value(b, i)?; // key (validated as a string below)
-                if b.get(i) != Some(&b':') {
-                    return None;
-                }
-                i = skip_value(b, i + 1)?;
-                match *b.get(i)? {
-                    b',' => i += 1,
-                    b'}' => return Some(i + 1),
-                    _ => return None,
-                }
-            }
-        }
-        b'[' => {
-            i += 1;
-            if b.get(i) == Some(&b']') {
-                return Some(i + 1);
-            }
-            loop {
-                i = skip_value(b, i)?;
-                match *b.get(i)? {
-                    b',' => i += 1,
-                    b']' => return Some(i + 1),
-                    _ => return None,
-                }
-            }
-        }
-        b'"' => {
-            i += 1;
-            loop {
-                match *b.get(i)? {
-                    b'\\' => i += 2,
-                    b'"' => return Some(i + 1),
-                    _ => i += 1,
-                }
-            }
-        }
-        b't' => b[i..].starts_with(b"true").then_some(i + 4),
-        b'f' => b[i..].starts_with(b"false").then_some(i + 5),
-        b'n' => b[i..].starts_with(b"null").then_some(i + 4),
-        b'0'..=b'9' | b'-' => {
-            let start = i;
-            while b.get(i).is_some_and(|c| {
-                c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E')
-            }) {
-                i += 1;
-            }
-            (i > start).then_some(i)
-        }
-        _ => None,
-    }
-}
-
-fn json_is_valid(doc: &str) -> bool {
-    let b = doc.as_bytes();
-    skip_value(b, 0).is_some_and(|end| b[end..].iter().all(|&c| c == b' ' || c == b'\n'))
-}
 
 fn push_phase(out: &mut String, name: &str, snap: &StatsSnapshot) {
     if !out.ends_with('[') {

@@ -275,6 +275,81 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Minimal JSON validity checker (objects, arrays, strings without escapes
+/// beyond `\"`, numbers, booleans, null) shared by the self-asserting
+/// binaries that emit hand-rolled JSON (`metrics_smoke`, `scaling`).
+/// Returns the byte position after the value, or `None` on malformed
+/// input. Deliberately dependency-free: the exporters it guards are
+/// hand-rolled too.
+fn skip_json_value(b: &[u8], mut i: usize) -> Option<usize> {
+    while b.get(i) == Some(&b' ') {
+        i += 1;
+    }
+    match *b.get(i)? {
+        b'{' => {
+            i += 1;
+            if b.get(i) == Some(&b'}') {
+                return Some(i + 1);
+            }
+            loop {
+                i = skip_json_value(b, i)?; // key (validated as a string below)
+                if b.get(i) != Some(&b':') {
+                    return None;
+                }
+                i = skip_json_value(b, i + 1)?;
+                match *b.get(i)? {
+                    b',' => i += 1,
+                    b'}' => return Some(i + 1),
+                    _ => return None,
+                }
+            }
+        }
+        b'[' => {
+            i += 1;
+            if b.get(i) == Some(&b']') {
+                return Some(i + 1);
+            }
+            loop {
+                i = skip_json_value(b, i)?;
+                match *b.get(i)? {
+                    b',' => i += 1,
+                    b']' => return Some(i + 1),
+                    _ => return None,
+                }
+            }
+        }
+        b'"' => {
+            i += 1;
+            loop {
+                match *b.get(i)? {
+                    b'\\' => i += 2,
+                    b'"' => return Some(i + 1),
+                    _ => i += 1,
+                }
+            }
+        }
+        b't' => b[i..].starts_with(b"true").then_some(i + 4),
+        b'f' => b[i..].starts_with(b"false").then_some(i + 5),
+        b'n' => b[i..].starts_with(b"null").then_some(i + 4),
+        b'0'..=b'9' | b'-' => {
+            let start = i;
+            while b.get(i).is_some_and(|c| {
+                c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E')
+            }) {
+                i += 1;
+            }
+            (i > start).then_some(i)
+        }
+        _ => None,
+    }
+}
+
+/// Whether `doc` is one valid JSON value (plus trailing spaces/newlines).
+pub fn json_is_valid(doc: &str) -> bool {
+    let b = doc.as_bytes();
+    skip_json_value(b, 0).is_some_and(|end| b[end..].iter().all(|&c| c == b' ' || c == b'\n'))
+}
+
 /// The K values (percent out-of-order) of Figs 8, 9, 10, 14 and Table 2.
 pub const K_GRID: [f64; 8] = [0.0, 0.01, 0.03, 0.05, 0.10, 0.25, 0.50, 1.00];
 

@@ -6,6 +6,26 @@
 //! leaf's write lock at split time — this lets the fast path validate an
 //! insert against the leaf itself, immune to staleness of the shared
 //! fast-path metadata.
+//!
+//! # Buffer-pinning invariant (OLC)
+//!
+//! Optimistic readers ([`crate::ConcurrentTree`] with OLC enabled) read node
+//! contents *without* holding the node's lock and only validate afterwards.
+//! For those raw reads to never fault, a node's `Vec` buffers must never be
+//! reallocated while the tree is alive: a concurrent reader may still be
+//! dereferencing the old allocation. The constructors here therefore
+//! reserve the maximum size a buffer can ever reach up front:
+//!
+//! * leaf `keys`/`vals`: `leaf_capacity + 1` (a full leaf accepts one
+//!   overflow entry before/while it splits);
+//! * internal `keys`: `internal_capacity + 1`, `children`:
+//!   `internal_capacity + 2` (one separator/child of overshoot before the
+//!   node splits).
+//!
+//! All in-place mutation stays within these reservations; the single
+//! exception (a uniform-key leaf absorbing overflow past its capacity,
+//! which cannot split) swaps in larger buffers and retires the old ones to
+//! a tree-level keep-alive list instead of freeing them.
 
 use crate::sync::RwLock;
 use std::sync::Arc;
@@ -39,15 +59,37 @@ pub enum CNode<K, V> {
 }
 
 impl<K, V> CNode<K, V> {
-    /// A fresh empty leaf with unbounded range.
+    /// A fresh empty leaf with unbounded range. Reserves `capacity + 1`
+    /// slots so in-capacity inserts (plus the transient overflow entry
+    /// around a split) never reallocate — see the buffer-pinning invariant
+    /// in the module docs.
     pub fn empty_leaf(capacity: usize) -> Self {
         CNode::Leaf {
-            keys: Vec::with_capacity(capacity),
-            vals: Vec::with_capacity(capacity),
+            keys: Vec::with_capacity(capacity + 1),
+            vals: Vec::with_capacity(capacity + 1),
             next: None,
             low: None,
             high: None,
         }
+    }
+
+    /// Pre-sized buffers for a new leaf (`capacity + 1` slots each), for
+    /// split code that fills them by draining the overfull left sibling.
+    pub fn leaf_buffers(capacity: usize) -> (Vec<K>, Vec<V>) {
+        (
+            Vec::with_capacity(capacity + 1),
+            Vec::with_capacity(capacity + 1),
+        )
+    }
+
+    /// Pre-sized buffers for a new internal node: `capacity + 1` separator
+    /// slots and `capacity + 2` child slots, the maximum an internal node
+    /// reaches in the instant before it splits.
+    pub fn internal_buffers(capacity: usize) -> (Vec<K>, Vec<NodeRef<K, V>>) {
+        (
+            Vec::with_capacity(capacity + 1),
+            Vec::with_capacity(capacity + 2),
+        )
     }
 
     /// Wraps a node in its lock + handle.
@@ -94,5 +136,20 @@ mod tests {
         // The guard owns an Arc clone: dropping `r` is fine.
         drop(r);
         assert!(guard.is_leaf());
+    }
+
+    #[test]
+    fn buffers_reserve_overflow_slack() {
+        let n: CNode<u64, u64> = CNode::empty_leaf(8);
+        let CNode::Leaf { keys, vals, .. } = &n else {
+            unreachable!();
+        };
+        assert!(keys.capacity() >= 9, "leaf keys pin capacity + 1");
+        assert!(vals.capacity() >= 9, "leaf vals pin capacity + 1");
+        let (ik, ic) = CNode::<u64, u64>::internal_buffers(8);
+        assert!(ik.capacity() >= 9, "internal keys pin capacity + 1");
+        assert!(ic.capacity() >= 10, "internal children pin capacity + 2");
+        let (lk, lv) = CNode::<u64, u64>::leaf_buffers(8);
+        assert!(lk.capacity() >= 9 && lv.capacity() >= 9);
     }
 }

@@ -1,0 +1,304 @@
+//! Raw node reads for optimistic lock coupling (OLC).
+//!
+//! With OLC enabled, traversal reads node contents **without holding the
+//! node's lock**: take the node's version ([`RwLock::optimistic_version`]),
+//! copy the interesting bytes, then [`RwLock::validate`]. When validation
+//! fails the copied bytes are discarded unread; when it succeeds, no write
+//! section overlapped the reads, so the copy is a consistent snapshot.
+//!
+//! # Safety argument
+//!
+//! Raw reads race with writers by design, so everything here is built on
+//! three structural invariants of [`crate::ConcurrentTree`]:
+//!
+//! 1. **Nodes are immortal while the tree lives.** Splits only add nodes,
+//!    deletes are lazy (no merges), and a replaced root stays linked as a
+//!    child — so a node pointer obtained from the tree at any time remains
+//!    dereferenceable until the tree is dropped (which requires `&mut`, i.e.
+//!    no concurrent readers).
+//! 2. **Node buffers are pinned** (see the `node` module docs): a node's
+//!    `Vec` allocations are created with their maximum-ever capacity and
+//!    never reallocated in place; the one growth case swaps buffers and
+//!    retires the old allocation to a tree-level keep-alive list. Every
+//!    leaf buffer therefore holds at least `leaf_capacity + 1` slots and
+//!    every internal buffer at least its pinned reservation, alive for the
+//!    tree's lifetime.
+//! 3. **A node's discriminant (leaf vs internal) never changes** after
+//!    construction, so matching on the enum without a lock is stable.
+//!
+//! Under those invariants every raw access below stays within a live
+//! allocation even when it races a writer: `Vec` headers are copied with
+//! `read_volatile` (a racing swap yields the old or the new header, both
+//! pointing at live, sufficiently-large buffers), element indices are
+//! clamped to the pinned minimum capacity, and values are copied as
+//! `MaybeUninit` bytes that are only interpreted (cloned) after validation
+//! succeeds. What remains — word-sized loads that race word-sized stores —
+//! is the standard seqlock idiom; it is not blessed by the formal memory
+//! model but is exactly what production OLC trees (LeanStore, Umbra,
+//! crossbeam's `SeqLock`) rely on, and it is confined to this module.
+
+use crate::node::{CNode, NodeRef};
+use crate::sync::RwLock;
+use quit_core::Key;
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::ptr;
+use std::sync::Arc;
+
+/// A validation failure: the bracket raced a write section; restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Conflict;
+
+/// Outcome of one optimistic routing step at `node`.
+pub(crate) enum Routed<H> {
+    /// Descend into this child, whose optimistic version is the `u64`.
+    Child(H, u64),
+    /// The node is a leaf; the caller handles it (raw read or latch).
+    Leaf,
+}
+
+/// Routing target of a descent: a concrete key, or the leftmost child
+/// (unbounded range start).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Target<K> {
+    /// Right-biased routing to `key` (`partition_point(sep <= key)`),
+    /// matching the pessimistic descent.
+    Key(K),
+    /// Always take child 0.
+    Leftmost,
+}
+
+/// Copies a `Vec`'s header (data pointer + length) without locking.
+///
+/// # Safety
+///
+/// `vec` must point into a node covered by the module invariants: the
+/// header bytes are always those of a live `Vec` (a racing buffer swap
+/// publishes old or new header words, each pointing at a live pinned
+/// allocation). The returned length is *untrusted* — callers must clamp it
+/// to the pinned minimum capacity before indexing.
+unsafe fn vec_header<T>(vec: *const Vec<T>) -> (*const T, usize) {
+    let copy = ptr::read_volatile(vec.cast::<MaybeUninit<Vec<T>>>());
+    // Never dropped (MaybeUninit): this is a bitwise alias of the real Vec.
+    let alias = copy.assume_init_ref();
+    (alias.as_ptr(), alias.len())
+}
+
+/// `partition_point` over a raw key slice with volatile element loads.
+///
+/// # Safety
+///
+/// `ptr..ptr+len` must stay within one live allocation (caller clamps
+/// `len`). Keys may be torn mid-write; the result is only meaningful once
+/// the caller validates the node version.
+unsafe fn raw_partition_point<K: Key>(
+    ptr: *const K,
+    len: usize,
+    pred: impl Fn(&K) -> bool,
+) -> usize {
+    let (mut lo, mut hi) = (0usize, len);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let k = ptr::read_volatile(ptr.add(mid));
+        if pred(&k) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Copies the `Arc` in `slot` without touching its refcount, returning the
+/// raw pointer to its `RwLock`.
+///
+/// # Safety
+///
+/// `slot` must be in-capacity of a live children buffer. The word read may
+/// be stale or a mid-`memmove` duplicate of a neighbour, but it is always
+/// *some* node handle that was linked into the tree, hence live (invariant
+/// 1); misrouting is caught by version validation.
+unsafe fn child_ptr_at<K, V>(slot: *const NodeRef<K, V>) -> *const RwLock<CNode<K, V>> {
+    let copy = ptr::read_volatile(slot.cast::<ManuallyDrop<NodeRef<K, V>>>());
+    Arc::as_ptr(&copy)
+}
+
+/// Like [`child_ptr_at`] but returns an owned handle (refcount bumped).
+///
+/// # Safety
+///
+/// Same as [`child_ptr_at`]; cloning is sound because the aliased `Arc` is
+/// live with strong count ≥ 1 (the tree links it).
+unsafe fn child_arc_at<K, V>(slot: *const NodeRef<K, V>) -> NodeRef<K, V> {
+    let copy = ptr::read_volatile(slot.cast::<ManuallyDrop<NodeRef<K, V>>>());
+    NodeRef::clone(&copy)
+}
+
+/// Reads the root pointer optimistically, returning a borrowed node handle
+/// with no refcount traffic. `None` = the root cell is write-locked or was
+/// swapped mid-read; restart.
+///
+/// The returned borrow is tied to the root cell's borrow, i.e. to the tree
+/// borrow — exactly the span for which invariant 1 keeps every node alive.
+pub(crate) fn root_ref<K: Key, V>(cell: &RwLock<NodeRef<K, V>>) -> Option<&RwLock<CNode<K, V>>> {
+    let v = cell.optimistic_version()?;
+    // SAFETY: the cell always holds a live NodeRef; a racing root swap is
+    // caught by the validate below and the word itself is a valid handle
+    // either way (invariant 1), live for the tree borrow.
+    let node = unsafe {
+        let copy = ptr::read_volatile(cell.data_ptr().cast::<ManuallyDrop<NodeRef<K, V>>>());
+        &*Arc::as_ptr(&copy)
+    };
+    cell.validate(v).then_some(node)
+}
+
+/// Owned-handle flavour of [`root_ref`] for descents that need `Arc`s
+/// (insert needs the leaf handle for poℓe maintenance, range for its
+/// iterator guards).
+pub(crate) fn root_arc<K: Key, V>(cell: &RwLock<NodeRef<K, V>>) -> Option<NodeRef<K, V>> {
+    let v = cell.optimistic_version()?;
+    // SAFETY: as in `root_ptr`; cloning a live Arc is sound.
+    let arc = unsafe {
+        let copy = ptr::read_volatile(cell.data_ptr().cast::<ManuallyDrop<NodeRef<K, V>>>());
+        NodeRef::clone(&copy)
+    };
+    cell.validate(v).then_some(arc)
+}
+
+/// One optimistic routing step: if `node` (read under version `v`) is
+/// internal, pick the child for `target`, read the **child's** version,
+/// then validate the **parent** — the OLC hand-over-hand order that makes
+/// the child version meaningful before the parent is released.
+///
+/// Generic over how the child handle is materialized so the hot `get` path
+/// can stay refcount-free (raw pointers) while insert/range clone `Arc`s.
+fn route_step<K: Key, V, H>(
+    node: &RwLock<CNode<K, V>>,
+    v: u64,
+    target: Target<K>,
+    materialize: impl Fn(*const NodeRef<K, V>) -> (H, *const RwLock<CNode<K, V>>),
+) -> Result<Routed<H>, Conflict> {
+    // SAFETY: discriminant is stable (invariant 3); field reads below are
+    // volatile copies within pinned live buffers (invariants 1–2), and the
+    // result is discarded unless `validate` succeeds.
+    unsafe {
+        let (keys, children) = match &*node.data_ptr() {
+            CNode::Leaf { .. } => {
+                // Leaf-ness is stable; no validation needed to report it.
+                return Ok(Routed::Leaf);
+            }
+            CNode::Internal { keys, children } => (keys as *const Vec<K>, children as *const _),
+        };
+        let (kptr, klen) = vec_header(keys);
+        let (cptr, clen) = vec_header::<NodeRef<K, V>>(children);
+        if clen == 0 {
+            return Err(Conflict); // torn header; cannot happen at rest
+        }
+        // Internal buffers are pinned at `internal_capacity + 1` keys and
+        // `internal_capacity + 2` children; torn lengths are old-or-new
+        // values and thus already in-capacity, but clamp the routing index
+        // to the children length actually read so the slot access stays
+        // in-bounds even if the two headers disagree.
+        let i = match target {
+            Target::Leftmost => 0,
+            Target::Key(key) => raw_partition_point(kptr, klen.min(clen - 1), |k| *k <= key),
+        };
+        let (handle, child_ptr) = materialize(cptr.add(i.min(clen - 1)));
+        let child = &*child_ptr;
+        let Some(cv) = child.optimistic_version() else {
+            return Err(Conflict);
+        };
+        if !node.validate(v) {
+            return Err(Conflict);
+        }
+        Ok(Routed::Child(handle, cv))
+    }
+}
+
+/// [`route_step`] returning a borrowed child handle (no refcount traffic)
+/// — the point-lookup hot path. The child borrow inherits the parent's
+/// lifetime, which is bounded by the tree borrow (invariant 1).
+pub(crate) fn route_step_ref<K: Key, V>(
+    node: &RwLock<CNode<K, V>>,
+    v: u64,
+    target: Target<K>,
+) -> Result<Routed<&RwLock<CNode<K, V>>>, Conflict> {
+    route_step(node, v, target, |slot| {
+        // SAFETY: `slot` is in-capacity per route_step's clamping, and the
+        // node behind it is live for the tree borrow (invariant 1).
+        let p = unsafe { child_ptr_at(slot) };
+        (unsafe { &*p }, p)
+    })
+}
+
+/// [`route_step`] returning an owned child handle.
+pub(crate) fn route_step_arc<K: Key, V>(
+    node: &RwLock<CNode<K, V>>,
+    v: u64,
+    target: Target<K>,
+) -> Result<Routed<NodeRef<K, V>>, Conflict> {
+    route_step(node, v, target, |slot| {
+        // SAFETY: `slot` is in-capacity per route_step's clamping.
+        let arc = unsafe { child_arc_at(slot) };
+        let p = Arc::as_ptr(&arc);
+        (arc, p)
+    })
+}
+
+/// Outcome of a latch-free leaf point lookup.
+pub(crate) enum LeafRead<V> {
+    /// Key present; the value was copied and validated.
+    Hit(V),
+    /// Key absent (validated).
+    Miss,
+    /// The leaf has absorbed overflow past its pinned reservation (the
+    /// uniform-key case); the caller must re-read under a shared latch.
+    Oversize,
+    /// A write section raced the read; restart.
+    Conflict,
+}
+
+/// Latch-free point lookup in the leaf behind `node`, read under version
+/// `v`. `leaf_capacity` is the tree's configured leaf capacity — the pinned
+/// buffer reservation is `leaf_capacity + 1`, so any in-range index below
+/// that is in-capacity of **every** leaf buffer, past or present.
+pub(crate) fn leaf_get<K: Key, V: Clone>(
+    node: &RwLock<CNode<K, V>>,
+    v: u64,
+    key: K,
+    leaf_capacity: usize,
+) -> LeafRead<V> {
+    // SAFETY: invariants 1–3 as in `route_step`; the value copy is held as
+    // `MaybeUninit` and only interpreted after validation proves no write
+    // section overlapped the reads.
+    unsafe {
+        let (keys, vals) = match &*node.data_ptr() {
+            CNode::Internal { .. } => return LeafRead::Conflict,
+            CNode::Leaf { keys, vals, .. } => (keys as *const Vec<K>, vals as *const Vec<V>),
+        };
+        let (kptr, klen) = vec_header(keys);
+        if klen > leaf_capacity + 1 {
+            // Absorbed-overflow leaf (or a torn length): the pinned-minimum
+            // clamp no longer covers it; fall back to a latched read.
+            return LeafRead::Oversize;
+        }
+        let pos = raw_partition_point(kptr, klen, |k| *k < key);
+        if pos < klen && ptr::read_volatile(kptr.add(pos)) == key {
+            let (vptr, _) = vec_header(vals);
+            // `pos <= leaf_capacity`, in-capacity of every pinned vals
+            // buffer even if the two headers raced differently.
+            let copy = ptr::read_volatile(vptr.add(pos).cast::<MaybeUninit<V>>());
+            if node.validate(v) {
+                // Validated: `copy` is a bitwise alias of a live value that
+                // was not touched during our reads. Clone it; never drop
+                // the alias itself (MaybeUninit never drops).
+                LeafRead::Hit(copy.assume_init_ref().clone())
+            } else {
+                LeafRead::Conflict
+            }
+        } else if node.validate(v) {
+            LeafRead::Miss
+        } else {
+            LeafRead::Conflict
+        }
+    }
+}

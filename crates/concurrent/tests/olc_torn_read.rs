@@ -1,0 +1,102 @@
+//! Deterministic torn-read regression for optimistic lock coupling.
+//!
+//! Requires `--features olc-test-hooks`: the tree exposes a pause point
+//! in the optimistic point-lookup descent, after the leaf's version has
+//! been read but before its contents are. A reader is pinned exactly
+//! there while a writer splits the very leaf it is about to read — the
+//! worst-case torn window. The reader must detect the version change,
+//! restart, and still return the correct value; if validation were
+//! broken it would instead return a value read from a half-moved leaf.
+#![cfg(feature = "olc-test-hooks")]
+
+use quit_concurrent::{test_hooks, ConcConfig, ConcurrentTree};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard, OnceLock};
+
+/// The hook registry is process-global, so tests that install hooks must
+/// not overlap (cargo runs `#[test]`s in parallel by default).
+fn hook_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Pins one optimistic lookup at the leaf pause point, splits that leaf
+/// underneath it, releases it, and returns the lookup's result.
+fn read_during_split(
+    tree: &ConcurrentTree<u64, u64>,
+    read_key: u64,
+    split_inserts: &[u64],
+) -> Option<u64> {
+    let paused = Arc::new(Barrier::new(2));
+    let resume = Arc::new(Barrier::new(2));
+    // The hook fires on every optimistic leaf arrival — including the
+    // reader's own post-restart retry — so a latch makes it one-shot.
+    let fired = Arc::new(AtomicBool::new(false));
+    {
+        let (paused, resume, fired) = (paused.clone(), resume.clone(), fired.clone());
+        test_hooks::set_leaf_pause(move || {
+            if !fired.swap(true, Ordering::SeqCst) {
+                paused.wait();
+                resume.wait();
+            }
+        });
+    }
+
+    let result = std::thread::scope(|s| {
+        let reader = s.spawn(|| tree.get(read_key));
+        // Reader is now pinned between leaf-version read and leaf read.
+        paused.wait();
+        for &k in split_inserts {
+            tree.insert(k, k * 10);
+        }
+        resume.wait();
+        reader.join().unwrap()
+    });
+    test_hooks::clear_leaf_pause();
+    result
+}
+
+#[test]
+fn pinned_reader_survives_leaf_split() {
+    let _serial = hook_lock();
+    let tree: ConcurrentTree<u64, u64> = ConcurrentTree::new(ConcConfig::small(4));
+    for k in [0u64, 2, 4] {
+        tree.insert(k, k * 10);
+    }
+    let restarts_before = tree.stats().olc_restarts.get();
+
+    // Phase 1: the read key stays in the LEFT half after the split, so a
+    // torn read would see the leaf mid-drain.
+    assert_eq!(read_during_split(&tree, 2, &[1, 3, 5]), Some(20));
+
+    // Phase 2: the read key has moved to the RIGHT half — the pinned
+    // reader holds a pre-split leaf reference whose key range no longer
+    // covers the key, and must restart into the new sibling.
+    let probe = 5;
+    assert_eq!(read_during_split(&tree, probe, &[6, 7, 8, 9]), Some(50));
+
+    // Both phases forced at least one validate-fail-and-restart; a
+    // validation bug would have returned torn data with zero restarts.
+    assert!(
+        tree.stats().olc_restarts.get() > restarts_before,
+        "pinned reads never restarted: validation is not detecting the split"
+    );
+    assert!(tree.check_consistency().is_ok());
+}
+
+#[test]
+fn unpaused_lookups_are_unaffected_by_an_installed_then_cleared_hook() {
+    let _serial = hook_lock();
+    let tree: ConcurrentTree<u64, u64> = ConcurrentTree::new(ConcConfig::small(4));
+    test_hooks::set_leaf_pause(|| {});
+    for k in 0..64u64 {
+        tree.insert(k, k + 1);
+    }
+    assert_eq!(tree.get(17), Some(18));
+    test_hooks::clear_leaf_pause();
+    assert_eq!(tree.get(63), Some(64));
+    assert_eq!(tree.len(), 64);
+}

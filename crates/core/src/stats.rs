@@ -53,6 +53,12 @@ pub struct Stats {
     pub leaf_merges: Counter,
     /// Sibling borrows triggered by delete rebalancing.
     pub leaf_borrows: Counter,
+    /// Optimistic-descent restarts after a version validation failed
+    /// (concurrent tree with OLC enabled; zero elsewhere).
+    pub olc_restarts: Counter,
+    /// Optimistic descents that exhausted their restart budget and fell
+    /// back to the pessimistic crabbing path.
+    pub olc_fallbacks: Counter,
 }
 
 impl Stats {
@@ -77,6 +83,8 @@ impl Stats {
         f(&self.deletes);
         f(&self.leaf_merges);
         f(&self.leaf_borrows);
+        f(&self.olc_restarts);
+        f(&self.olc_fallbacks);
     }
 
     /// Zeroes every counter (e.g. between ingest and query phases).
@@ -120,6 +128,8 @@ impl Stats {
             deletes: self.deletes.get(),
             leaf_merges: self.leaf_merges.get(),
             leaf_borrows: self.leaf_borrows.get(),
+            olc_restarts: self.olc_restarts.get(),
+            olc_fallbacks: self.olc_fallbacks.get(),
             ..Default::default()
         }
     }
@@ -160,6 +170,8 @@ pub struct StatsSnapshot {
     pub deletes: u64,
     pub leaf_merges: u64,
     pub leaf_borrows: u64,
+    pub olc_restarts: u64,
+    pub olc_fallbacks: u64,
     /// Insert latency histogram ([`crate::MetricsLevel::Histograms`] only).
     pub insert_latency: HistogramSnapshot,
     /// Point-lookup latency histogram.
@@ -208,7 +220,7 @@ impl StatsSnapshot {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
         out.push('{');
-        let counters: [(&str, u64); 15] = [
+        let counters: [(&str, u64); 17] = [
             ("fast_inserts", self.fast_inserts),
             ("top_inserts", self.top_inserts),
             ("leaf_splits", self.leaf_splits),
@@ -224,6 +236,8 @@ impl StatsSnapshot {
             ("deletes", self.deletes),
             ("leaf_merges", self.leaf_merges),
             ("leaf_borrows", self.leaf_borrows),
+            ("olc_restarts", self.olc_restarts),
+            ("olc_fallbacks", self.olc_fallbacks),
         ];
         for (name, v) in counters {
             push_key(&mut out, name);

@@ -12,6 +12,14 @@
 //! `.proptest-regressions` persistence turn any divergence into a small,
 //! replayable counterexample.
 //!
+//! For the concurrent tree the single-threaded oracle is not enough:
+//! optimistic lock coupling only does interesting work when versions
+//! actually conflict. [`replay_concurrent`] runs a true multi-threaded
+//! differential — N writers over disjoint key partitions (each checked
+//! op-by-op against a private model), M readers validating value tags and
+//! scan ordering, structural re-checks after every join, and a final
+//! merged-model comparison (see [`ConcSpec`]).
+//!
 //! The harness proves it can catch real bugs via a mutation smoke check:
 //! building with `--features inject-split-bug` enables a deliberately
 //! wrong Fig 7a split bound in `quit-core`, and `tests/mutation_smoke.rs`
@@ -24,9 +32,11 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+mod concurrent;
 mod oracle;
 mod workload;
 
+pub use concurrent::{conc_base_seed, replay_concurrent, ConcReport, ConcSpec};
 pub use oracle::{replay, replay_guarded, Divergence, OracleConfig, ReplayReport};
 pub use workload::{Op, OpMix, WorkloadSpec, WorkloadStrategy, MAX_BATCH, MAX_BULK};
 

@@ -79,15 +79,19 @@ pub struct ReplayReport {
 }
 
 /// The `BTreeMap` reference model with duplicate-taint tracking.
+///
+/// Shared with the concurrent differential mode (`crate::concurrent`),
+/// where each writer thread keeps a private `Model` for its own key
+/// partition and the partitions are merged after the threads join.
 #[derive(Default)]
-struct Model {
-    map: BTreeMap<u64, Vec<u64>>,
-    tainted: BTreeSet<u64>,
-    len: usize,
+pub(crate) struct Model {
+    pub(crate) map: BTreeMap<u64, Vec<u64>>,
+    pub(crate) tainted: BTreeSet<u64>,
+    pub(crate) len: usize,
 }
 
 impl Model {
-    fn insert(&mut self, k: u64, v: u64) {
+    pub(crate) fn insert(&mut self, k: u64, v: u64) {
         let values = self.map.entry(k).or_default();
         values.push(v);
         if values.len() > 1 {
@@ -98,7 +102,7 @@ impl Model {
         self.len += 1;
     }
 
-    fn delete(&mut self, k: u64) -> bool {
+    pub(crate) fn delete(&mut self, k: u64) -> bool {
         if let Some(values) = self.map.get_mut(&k) {
             values.pop();
             if values.is_empty() {
@@ -113,13 +117,13 @@ impl Model {
         }
     }
 
-    fn contains(&self, k: u64) -> bool {
+    pub(crate) fn contains(&self, k: u64) -> bool {
         self.map.contains_key(&k)
     }
 
     /// The value of `k` when it is exactly one, untainted instance —
     /// the only case where all families must agree on the value.
-    fn single_value(&self, k: u64) -> Option<u64> {
+    pub(crate) fn single_value(&self, k: u64) -> Option<u64> {
         if self.tainted.contains(&k) {
             return None;
         }
@@ -129,7 +133,7 @@ impl Model {
         }
     }
 
-    fn range_keys(&self, s: u64, e: u64) -> Vec<u64> {
+    pub(crate) fn range_keys(&self, s: u64, e: u64) -> Vec<u64> {
         self.map
             .range(s..e)
             .flat_map(|(k, vs)| std::iter::repeat_n(*k, vs.len()))

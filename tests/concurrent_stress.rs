@@ -150,6 +150,95 @@ fn classic_and_quit_modes_agree_under_concurrency() {
     assert_eq!(results[0].len(), keys.len());
 }
 
+/// SplitMix64 stepper for in-thread op streams (same constants as
+/// [`thread_seed`], but advancing a mutable state).
+fn splitmix_step(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn read_heavy_90_10_profile_is_exact() {
+    // Fig-13-style read-mostly profile: 4 threads, 90% point lookups /
+    // 10% inserts, partitioned key space so every observable is exact
+    // even under full concurrency — final length, per-key presence, the
+    // lookup counter, and the OLC restart-accounting invariant.
+    let stress_seed = base_seed();
+    let threads = 4u64;
+    let per = 8_000u64; // ops per thread; per/10 of them insert
+    for olc in [true, false] {
+        let config = ConcConfig::small(16).with_olc(olc);
+        let budget = u64::from(config.olc_max_restarts);
+        let tree: Arc<ConcurrentTree<u64, u64>> = Arc::new(ConcurrentTree::new(config));
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let tree = tree.clone();
+                s.spawn(move || {
+                    let mut st = thread_seed(stress_seed, t);
+                    let mut inserted = 0u64;
+                    for i in 0..per {
+                        if i % 10 == 0 {
+                            let k = inserted * threads + t;
+                            tree.insert(k, k ^ t);
+                            inserted += 1;
+                        } else {
+                            // Our partition is sequential to us: a key we
+                            // inserted must be visible with its exact
+                            // value, the next (unwritten) key must not.
+                            let j = splitmix_step(&mut st) % (inserted + 1);
+                            if j < inserted {
+                                let k = j * threads + t;
+                                assert_eq!(tree.get(k), Some(k ^ t), "lost key {k}");
+                            } else {
+                                let k = inserted * threads + t;
+                                assert_eq!(tree.get(k), None, "phantom key {k}");
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        // Counters are sampled before any further reads touch them.
+        let stats = tree.stats();
+        let lookups = stats.lookups.get();
+        let restarts = stats.olc_restarts.get();
+        let fallbacks = stats.olc_fallbacks.get();
+        assert_eq!(
+            lookups,
+            threads * (per - per / 10),
+            "every get bumps lookups exactly once (olc={olc})"
+        );
+        if olc {
+            // Each budget exhaustion records exactly budget+1 restarts
+            // before the single fallback; successful retries only add.
+            assert!(
+                restarts >= fallbacks * (budget + 1),
+                "restart accounting violated: {restarts} restarts, {fallbacks} fallbacks"
+            );
+        } else {
+            assert_eq!(restarts, 0, "pessimistic mode must never restart");
+            assert_eq!(fallbacks, 0, "pessimistic mode must never fall back");
+        }
+
+        assert_eq!(tree.len(), (threads * (per / 10)) as usize);
+        let all = tree.collect_all();
+        assert_eq!(all.len(), tree.len(), "scan and len agree");
+        let uniq: BTreeSet<u64> = all.iter().map(|e| e.0).collect();
+        assert_eq!(uniq.len(), all.len(), "no duplicate keys");
+        for t in 0..threads {
+            for j in 0..per / 10 {
+                let k = j * threads + t;
+                assert!(tree.contains_key(k), "key {k} lost after join");
+            }
+        }
+        assert!(tree.check_consistency().is_ok());
+    }
+}
+
 #[test]
 fn point_reads_never_miss_committed_keys() {
     let tree: Arc<ConcurrentTree<u64, u64>> = Arc::new(ConcurrentTree::quit());
