@@ -27,21 +27,37 @@
 //!    construction, so matching on the enum without a lock is stable.
 //!
 //! Under those invariants every raw access below stays within a live
-//! allocation even when it races a writer: `Vec` headers are copied with
-//! `read_volatile` (a racing swap yields the old or the new header, both
-//! pointing at live, sufficiently-large buffers), element indices are
-//! clamped to the pinned minimum capacity, and values are copied as
-//! `MaybeUninit` bytes that are only interpreted (cloned) after validation
-//! succeeds. What remains — word-sized loads that race word-sized stores —
-//! is the standard seqlock idiom; it is not blessed by the formal memory
-//! model but is exactly what production OLC trees (LeanStore, Umbra,
-//! crossbeam's `SeqLock`) rely on, and it is confined to this module.
+//! allocation even when it races a writer. The racing loads themselves go
+//! through [`atomic_read`], a word-wise `Relaxed` atomic copy (the
+//! "atomic memcpy" idiom), so the read side contains no plain or volatile
+//! load that races a store — each word observed is a value some writer
+//! actually published. What the memory model still does not fully bless is
+//! the *write* side (writers mutate through `&mut` with plain stores); that
+//! residual gray area is the same one production OLC trees (LeanStore,
+//! Umbra, crossbeam's `SeqLock`) live with, and it is confined to this
+//! module.
+//!
+//! Two typed gates make the copied bytes safe to *use*:
+//!
+//! * **Keys** may be torn across words, so materializing one as a `K`
+//!   requires every bit pattern to be valid — exactly the contract of the
+//!   [`quit_core::AnyBitPattern`] supertrait of [`Key`]. A torn key can
+//!   still compare arbitrarily (or panic, e.g. NaN inside `OrderedF64`);
+//!   both are safe, and the result is discarded once validation fails.
+//! * **Values** are copied as `MaybeUninit` bytes and only interpreted
+//!   after validation — and only when `V` has **no drop glue**
+//!   (`!needs_drop::<V>()`). Validation proves the snapshot is consistent,
+//!   but it does not keep the original value alive: a concurrent delete
+//!   may drop it right after `validate`. With no drop glue that destruction
+//!   releases nothing, so the snapshot aliases no freeable heap; for
+//!   heap-owning values ([`LeafRead::NeedsLatch`]) the caller re-reads
+//!   under the leaf's shared latch instead.
 
 use crate::node::{CNode, NodeRef};
 use crate::sync::RwLock;
 use quit_core::Key;
-use std::mem::{ManuallyDrop, MaybeUninit};
-use std::ptr;
+use std::mem::{align_of, size_of, MaybeUninit};
+use std::sync::atomic::{AtomicU16, AtomicU32, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A validation failure: the bracket raced a write section; restart.
@@ -67,29 +83,82 @@ pub(crate) enum Target<K> {
     Leftmost,
 }
 
+/// Copies `*src` with word-wise `Relaxed` atomic loads ("atomic memcpy").
+///
+/// This is the one primitive every racing read in this module goes
+/// through. Unlike `ptr::read_volatile`, each chunk is a real atomic load,
+/// so a load racing an (atomic) store is defined behavior and yields a
+/// value that was actually stored; the copy as a whole may still be torn
+/// *across* chunks, which is why callers only trust it after
+/// [`RwLock::validate`] (or via a typed gate such as `AnyBitPattern`).
+/// `Relaxed` suffices: the `Acquire` fence inside `validate` orders every
+/// one of these loads before the version re-load (seqlock recipe).
+///
+/// # Safety
+///
+/// `src` must be non-null, aligned for `T`, and point into a live
+/// allocation with `size_of::<T>()` readable bytes for the duration of the
+/// call (the module invariants provide this). The result is a bitwise
+/// snapshot: do not `assume_init` it unless torn/stale bytes are valid for
+/// `T`, and never drop it.
+unsafe fn atomic_read<T>(src: *const T) -> MaybeUninit<T> {
+    let mut out = MaybeUninit::<T>::uninit();
+    let size = size_of::<T>();
+    let align = align_of::<T>();
+    let dst = out.as_mut_ptr().cast::<u8>();
+    let src = src.cast::<u8>();
+    // Chunk at the widest atomic granule `T`'s layout guarantees: every
+    // chunk offset is a multiple of the granule, so each load is aligned.
+    macro_rules! chunks {
+        ($atom:ty, $prim:ty) => {{
+            let step = size_of::<$prim>();
+            let mut off = 0;
+            while off < size {
+                let word = (*src.add(off).cast::<$atom>()).load(Ordering::Relaxed);
+                dst.add(off).cast::<$prim>().write(word);
+                off += step;
+            }
+        }};
+    }
+    if align >= align_of::<AtomicUsize>() && size.is_multiple_of(size_of::<usize>()) {
+        chunks!(AtomicUsize, usize)
+    } else if align >= 4 && size.is_multiple_of(4) {
+        chunks!(AtomicU32, u32)
+    } else if align >= 2 && size.is_multiple_of(2) {
+        chunks!(AtomicU16, u16)
+    } else {
+        chunks!(AtomicU8, u8)
+    }
+    out
+}
+
 /// Copies a `Vec`'s header (data pointer + length) without locking.
 ///
 /// # Safety
 ///
-/// `vec` must point into a node covered by the module invariants: the
-/// header bytes are always those of a live `Vec` (a racing buffer swap
-/// publishes old or new header words, each pointing at a live pinned
-/// allocation). The returned length is *untrusted* — callers must clamp it
-/// to the pinned minimum capacity before indexing.
+/// `vec` must point into a node covered by the module invariants: each
+/// header word read is one a writer actually published (a racing buffer
+/// swap yields old or new words, each field of which belongs to a live
+/// pinned allocation's header — in particular the data pointer is always
+/// one of the two valid non-null pointers, satisfying `NonNull`). The
+/// returned length is *untrusted* — callers must clamp it to the pinned
+/// minimum capacity before indexing.
 unsafe fn vec_header<T>(vec: *const Vec<T>) -> (*const T, usize) {
-    let copy = ptr::read_volatile(vec.cast::<MaybeUninit<Vec<T>>>());
+    let copy = atomic_read(vec);
     // Never dropped (MaybeUninit): this is a bitwise alias of the real Vec.
     let alias = copy.assume_init_ref();
     (alias.as_ptr(), alias.len())
 }
 
-/// `partition_point` over a raw key slice with volatile element loads.
+/// `partition_point` over a raw key slice with racing atomic element loads.
 ///
 /// # Safety
 ///
 /// `ptr..ptr+len` must stay within one live allocation (caller clamps
-/// `len`). Keys may be torn mid-write; the result is only meaningful once
-/// the caller validates the node version.
+/// `len`). Keys may be torn mid-write — materializing them is sound
+/// because [`Key`]'s `AnyBitPattern` supertrait guarantees every bit
+/// pattern is a valid `K` — and the result is only meaningful once the
+/// caller validates the node version.
 unsafe fn raw_partition_point<K: Key>(
     ptr: *const K,
     len: usize,
@@ -98,7 +167,7 @@ unsafe fn raw_partition_point<K: Key>(
     let (mut lo, mut hi) = (0usize, len);
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        let k = ptr::read_volatile(ptr.add(mid));
+        let k = atomic_read(ptr.add(mid)).assume_init();
         if pred(&k) {
             lo = mid + 1;
         } else {
@@ -116,10 +185,11 @@ unsafe fn raw_partition_point<K: Key>(
 /// `slot` must be in-capacity of a live children buffer. The word read may
 /// be stale or a mid-`memmove` duplicate of a neighbour, but it is always
 /// *some* node handle that was linked into the tree, hence live (invariant
-/// 1); misrouting is caught by version validation.
+/// 1); misrouting is caught by version validation. The `MaybeUninit` copy
+/// is never dropped, so the refcount is untouched.
 unsafe fn child_ptr_at<K, V>(slot: *const NodeRef<K, V>) -> *const RwLock<CNode<K, V>> {
-    let copy = ptr::read_volatile(slot.cast::<ManuallyDrop<NodeRef<K, V>>>());
-    Arc::as_ptr(&copy)
+    let copy = atomic_read(slot);
+    Arc::as_ptr(copy.assume_init_ref())
 }
 
 /// Like [`child_ptr_at`] but returns an owned handle (refcount bumped).
@@ -129,8 +199,8 @@ unsafe fn child_ptr_at<K, V>(slot: *const NodeRef<K, V>) -> *const RwLock<CNode<
 /// Same as [`child_ptr_at`]; cloning is sound because the aliased `Arc` is
 /// live with strong count ≥ 1 (the tree links it).
 unsafe fn child_arc_at<K, V>(slot: *const NodeRef<K, V>) -> NodeRef<K, V> {
-    let copy = ptr::read_volatile(slot.cast::<ManuallyDrop<NodeRef<K, V>>>());
-    NodeRef::clone(&copy)
+    let copy = atomic_read(slot);
+    NodeRef::clone(copy.assume_init_ref())
 }
 
 /// Reads the root pointer optimistically, returning a borrowed node handle
@@ -143,10 +213,11 @@ pub(crate) fn root_ref<K: Key, V>(cell: &RwLock<NodeRef<K, V>>) -> Option<&RwLoc
     let v = cell.optimistic_version()?;
     // SAFETY: the cell always holds a live NodeRef; a racing root swap is
     // caught by the validate below and the word itself is a valid handle
-    // either way (invariant 1), live for the tree borrow.
+    // either way (invariant 1), live for the tree borrow. The copy is
+    // never dropped (no refcount traffic).
     let node = unsafe {
-        let copy = ptr::read_volatile(cell.data_ptr().cast::<ManuallyDrop<NodeRef<K, V>>>());
-        &*Arc::as_ptr(&copy)
+        let copy = atomic_read(cell.data_ptr());
+        &*Arc::as_ptr(copy.assume_init_ref())
     };
     cell.validate(v).then_some(node)
 }
@@ -156,10 +227,10 @@ pub(crate) fn root_ref<K: Key, V>(cell: &RwLock<NodeRef<K, V>>) -> Option<&RwLoc
 /// iterator guards).
 pub(crate) fn root_arc<K: Key, V>(cell: &RwLock<NodeRef<K, V>>) -> Option<NodeRef<K, V>> {
     let v = cell.optimistic_version()?;
-    // SAFETY: as in `root_ptr`; cloning a live Arc is sound.
+    // SAFETY: as in `root_ref`; cloning a live Arc is sound.
     let arc = unsafe {
-        let copy = ptr::read_volatile(cell.data_ptr().cast::<ManuallyDrop<NodeRef<K, V>>>());
-        NodeRef::clone(&copy)
+        let copy = atomic_read(cell.data_ptr());
+        NodeRef::clone(copy.assume_init_ref())
     };
     cell.validate(v).then_some(arc)
 }
@@ -178,7 +249,7 @@ fn route_step<K: Key, V, H>(
     materialize: impl Fn(*const NodeRef<K, V>) -> (H, *const RwLock<CNode<K, V>>),
 ) -> Result<Routed<H>, Conflict> {
     // SAFETY: discriminant is stable (invariant 3); field reads below are
-    // volatile copies within pinned live buffers (invariants 1–2), and the
+    // atomic copies within pinned live buffers (invariants 1–2), and the
     // result is discarded unless `validate` succeeds.
     unsafe {
         let (keys, children) = match &*node.data_ptr() {
@@ -250,9 +321,13 @@ pub(crate) enum LeafRead<V> {
     Hit(V),
     /// Key absent (validated).
     Miss,
-    /// The leaf has absorbed overflow past its pinned reservation (the
-    /// uniform-key case); the caller must re-read under a shared latch.
-    Oversize,
+    /// The leaf cannot be read latch-free; re-read it under a shared
+    /// latch. Two triggers: the value type owns heap (`needs_drop::<V>()`
+    /// — a post-validate clone of a raw snapshot could chase pointers a
+    /// concurrent delete already freed), or the leaf has absorbed overflow
+    /// past its pinned reservation (the uniform-key case), so the
+    /// pinned-minimum index clamp no longer covers it.
+    NeedsLatch,
     /// A write section raced the read; restart.
     Conflict,
 }
@@ -267,9 +342,21 @@ pub(crate) fn leaf_get<K: Key, V: Clone>(
     key: K,
     leaf_capacity: usize,
 ) -> LeafRead<V> {
+    if std::mem::needs_drop::<V>() {
+        // Validation proves the byte snapshot is consistent, but it does
+        // not keep the *original* value alive: a concurrent delete
+        // (`vals.remove`) may drop it between `validate` and the clone of
+        // the snapshot. For a heap-owning V that drop frees memory the
+        // snapshot's internal pointers still reference — use-after-free —
+        // so such values must be read under the leaf's shared latch. The
+        // branch is monomorphized away for plain-data values (u64 etc.).
+        return LeafRead::NeedsLatch;
+    }
     // SAFETY: invariants 1–3 as in `route_step`; the value copy is held as
     // `MaybeUninit` and only interpreted after validation proves no write
-    // section overlapped the reads.
+    // section overlapped the reads, and `V` has no drop glue (gate above),
+    // so no concurrent destruction of the original can free anything the
+    // snapshot aliases.
     unsafe {
         let (keys, vals) = match &*node.data_ptr() {
             CNode::Internal { .. } => return LeafRead::Conflict,
@@ -279,18 +366,20 @@ pub(crate) fn leaf_get<K: Key, V: Clone>(
         if klen > leaf_capacity + 1 {
             // Absorbed-overflow leaf (or a torn length): the pinned-minimum
             // clamp no longer covers it; fall back to a latched read.
-            return LeafRead::Oversize;
+            return LeafRead::NeedsLatch;
         }
         let pos = raw_partition_point(kptr, klen, |k| *k < key);
-        if pos < klen && ptr::read_volatile(kptr.add(pos)) == key {
+        if pos < klen && atomic_read(kptr.add(pos)).assume_init() == key {
             let (vptr, _) = vec_header(vals);
             // `pos <= leaf_capacity`, in-capacity of every pinned vals
             // buffer even if the two headers raced differently.
-            let copy = ptr::read_volatile(vptr.add(pos).cast::<MaybeUninit<V>>());
+            let copy = atomic_read(vptr.add(pos));
             if node.validate(v) {
                 // Validated: `copy` is a bitwise alias of a live value that
                 // was not touched during our reads. Clone it; never drop
-                // the alias itself (MaybeUninit never drops).
+                // the alias itself (MaybeUninit never drops), and the
+                // `needs_drop` gate above guarantees nothing the alias
+                // points at can have been freed since.
                 LeafRead::Hit(copy.assume_init_ref().clone())
             } else {
                 LeafRead::Conflict

@@ -33,7 +33,12 @@
 //! (writer: set bit, *then* read count; reader: bump count, *then* read
 //! bit), so those four accesses use `SeqCst`. The optimistic validate uses
 //! the classic seqlock fence recipe: data reads happen between an `Acquire`
-//! load of the version and an `Acquire` fence followed by a re-load.
+//! load of the version and an `Acquire` fence followed by a re-load. The
+//! data reads themselves are word-wise `Relaxed` atomic loads (see
+//! `olc::atomic_read`), not plain or volatile loads, so the read side of
+//! the race is made of genuine atomics; only the writers' plain stores
+//! through `&mut` remain outside the formal model, the residual gray area
+//! every production seqlock shares.
 //!
 //! The lock is not fair, which matches `parking_lot`'s default well enough
 //! for the workloads in this repo. The `unsafe` is confined to the

@@ -3,8 +3,12 @@
 //! * **Reads and insert descents** are optimistic by default (OLC): every
 //!   node lock carries a seqlock version word; the descent reads node
 //!   contents without latching, validating child-then-parent versions
-//!   hand-over-hand. `get` is fully latch-free (the leaf value is copied
-//!   and validated, never locked); inserts latch only the target leaf and
+//!   hand-over-hand. For plain-data values (no drop glue) `get` is fully
+//!   latch-free (the leaf value is copied and validated, never locked);
+//!   heap-owning values descend latch-free but re-read the leaf under its
+//!   shared latch, because a validated byte snapshot must not be cloned
+//!   once a concurrent delete may have dropped the original (see
+//!   `olc::leaf_get`). Inserts latch only the target leaf and
 //!   re-validate via the leaf's own separator bounds. A conflicting writer
 //!   triggers a restart with bounded exponential backoff; when the budget
 //!   (`ConcConfig::olc_max_restarts`) is exhausted the operation falls back
@@ -829,10 +833,13 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
         found
     }
 
-    /// Optimistic point lookup: the whole root-to-leaf path, including the
-    /// leaf read, takes **no locks** — node versions are validated
-    /// hand-over-hand and the copied value is only returned when the leaf
-    /// validation proves no writer overlapped the reads.
+    /// Optimistic point lookup: the root-to-leaf descent takes **no
+    /// locks** — node versions are validated hand-over-hand — and for
+    /// plain-data values the leaf read is latch-free too: the copied value
+    /// is only returned when the leaf validation proves no writer
+    /// overlapped the reads. Heap-owning values (and oversize
+    /// absorbed-overflow leaves) re-read the leaf under its shared latch,
+    /// validated by the leaf's own separator bounds.
     fn get_olc(&self, key: K) -> Option<V> {
         let mut restarts = 0u32;
         'restart: loop {
@@ -864,10 +871,11 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
                         match olc::leaf_get(node, v, key, self.config.leaf_capacity) {
                             LeafRead::Hit(val) => return Some(val),
                             LeafRead::Miss => return None,
-                            LeafRead::Oversize => {
-                                // Absorbed-overflow leaf: re-read under a
-                                // shared latch; the leaf's own bounds prove
-                                // it is the right one.
+                            LeafRead::NeedsLatch => {
+                                // Heap-owning value type or absorbed-
+                                // overflow leaf: re-read under a shared
+                                // latch; the leaf's own bounds prove it is
+                                // the right one.
                                 let g = node.read();
                                 if let CNode::Leaf {
                                     keys,
@@ -1755,6 +1763,86 @@ mod tests {
         assert!(t.check_consistency().is_ok());
         // The retired-buffer keep-alive list took the outgrown allocations.
         assert!(!t.retired.lock().is_empty());
+    }
+
+    #[test]
+    fn heap_owning_values_route_through_latched_leaf_read() {
+        // A validated latch-free snapshot must never be cloned for a V
+        // with drop glue: a racing delete could drop the original between
+        // validate and clone, leaving the snapshot's heap pointers
+        // dangling. `leaf_get` must refuse such V outright…
+        let node: NodeRef<u64, String> = CNode::empty_leaf(8).into_ref();
+        {
+            let mut g = RwLock::write_arc(&node);
+            let CNode::Leaf { keys, vals, .. } = &mut *g else {
+                unreachable!();
+            };
+            keys.push(1);
+            vals.push("one".to_owned());
+        }
+        let v = node.optimistic_version().unwrap();
+        assert!(matches!(
+            olc::leaf_get(&node, v, 1, 8),
+            LeafRead::NeedsLatch
+        ));
+        // …while plain-data values stay on the latch-free path.
+        let plain: NodeRef<u64, u64> = CNode::empty_leaf(8).into_ref();
+        {
+            let mut g = RwLock::write_arc(&plain);
+            let CNode::Leaf { keys, vals, .. } = &mut *g else {
+                unreachable!();
+            };
+            keys.push(1);
+            vals.push(10);
+        }
+        let v = plain.optimistic_version().unwrap();
+        assert!(matches!(olc::leaf_get(&plain, v, 1, 8), LeafRead::Hit(10)));
+        // The tree-level API serves heap-owning values correctly through
+        // the latched fallback.
+        let t: ConcurrentTree<u64, String> = ConcurrentTree::new(ConcConfig::small(8));
+        for k in 0..500u64 {
+            t.insert(k, format!("value-{k}"));
+        }
+        assert_eq!(t.get(123).as_deref(), Some("value-123"));
+        assert_eq!(t.get(9_999), None);
+    }
+
+    #[test]
+    fn heap_values_survive_concurrent_deletes_and_gets() {
+        // Regression for the OLC use-after-free: readers hammer `get` on
+        // String values while deleters drop them. Before the `needs_drop`
+        // gate, a get could clone a validated byte snapshot whose backing
+        // String a delete had just freed.
+        let t: StdArc<ConcurrentTree<u64, String>> =
+            StdArc::new(ConcurrentTree::new(ConcConfig::small(8)));
+        let n = 4_000u64;
+        for k in 0..n {
+            t.insert(k, format!("value-{k}"));
+        }
+        std::thread::scope(|s| {
+            for part in 0..2u64 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for k in (0..n).filter(|k| k % 2 == part) {
+                        assert_eq!(t.delete(k), Some(format!("value-{k}")));
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for round in 0..4 {
+                        for k in (0..n).skip(round).step_by(3) {
+                            if let Some(v) = t.get(k) {
+                                assert_eq!(v, format!("value-{k}"));
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 0);
+        assert!(t.check_consistency().is_ok());
     }
 
     #[test]

@@ -7,24 +7,57 @@
 
 use std::fmt::Debug;
 
+/// Marker asserting that **every** bit pattern is a valid value of `Self`.
+///
+/// The concurrent tree's optimistic readers (`quit-concurrent`'s OLC
+/// paths) copy key bytes while a writer may be mid-update. Each word of
+/// such a copy is some value that was actually stored, but the
+/// *combination* of words can be torn, and even a single word may mix
+/// old/new state from an in-progress `memmove`. Materializing that
+/// patchwork as a `Self` is only sound when the type has no invalid bit
+/// patterns — no niches, so no `bool`/`char`/enum/`NonZero`/reference
+/// fields and no padding.
+///
+/// A torn value may still violate *library* invariants (e.g. a NaN inside
+/// [`OrderedF64`]). Comparing it must be memory-safe — wrong orderings or
+/// a panic are acceptable, because the optimistic bracket discards the
+/// result (or unwinds with no locks held) — and every safe `Ord` impl on
+/// valid values satisfies that automatically.
+///
+/// # Safety
+///
+/// Implementors guarantee that any `size_of::<Self>()` bytes, however
+/// produced, form a valid, fully initialized `Self`.
+pub unsafe trait AnyBitPattern: Copy {}
+
 /// A key type usable by [`crate::BpTree`].
 ///
 /// Keys must be totally ordered, cheap to copy, and projectable to `f64`
 /// so that the IKR outlier bound (paper Eq. 2) can be evaluated. The
 /// projection only needs to be monotonic: `a < b ⇒ a.to_ikr() <= b.to_ikr()`.
-pub trait Key: Copy + Ord + Debug {
+///
+/// The [`AnyBitPattern`] supertrait is what lets the concurrent tree read
+/// keys without a latch: implementing `Key` for a type with invalid bit
+/// patterns requires (unsoundly) writing the `unsafe impl`, rather than
+/// being an accident a safe `impl Key` could commit.
+pub trait Key: Copy + Ord + Debug + AnyBitPattern {
     /// Monotonic projection into `f64` used by the IKR estimator.
     fn to_ikr(self) -> f64;
 }
 
 macro_rules! impl_key_int {
     ($($t:ty),*) => {
-        $(impl Key for $t {
-            #[inline]
-            fn to_ikr(self) -> f64 {
-                self as f64
+        $(
+            // SAFETY: primitive integers have no padding and no invalid
+            // bit patterns.
+            unsafe impl AnyBitPattern for $t {}
+            impl Key for $t {
+                #[inline]
+                fn to_ikr(self) -> f64 {
+                    self as f64
+                }
             }
-        })*
+        )*
     };
 }
 
@@ -34,6 +67,7 @@ impl_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 /// attributes — e.g. the stock closing prices of the paper's Fig. 15 — can be
 /// indexed directly.
 #[derive(Clone, Copy, Debug, PartialEq)]
+#[repr(transparent)]
 pub struct OrderedF64(pub f64);
 
 impl OrderedF64 {
@@ -67,6 +101,12 @@ impl Ord for OrderedF64 {
         self.0.partial_cmp(&other.0).expect("NaN in OrderedF64")
     }
 }
+
+// SAFETY: `OrderedF64` is a transparent `f64`; all 2^64 bit patterns are
+// valid `f64` values. A torn read can surface a NaN, which violates only
+// the no-NaN *library* invariant: `cmp` then panics (memory-safely) instead
+// of exhibiting UB, which the `AnyBitPattern` contract permits.
+unsafe impl AnyBitPattern for OrderedF64 {}
 
 impl Key for OrderedF64 {
     #[inline]

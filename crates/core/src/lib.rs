@@ -89,6 +89,9 @@ mod fastpath;
 mod ikr;
 mod insert;
 mod iter;
+// `key` declares the `unsafe` `AnyBitPattern` marker trait (a contract on
+// implementors, not unsafe operations — the crate still contains none).
+#[allow(unsafe_code)]
 mod key;
 mod metrics;
 mod node;
@@ -107,7 +110,7 @@ pub use cursor::Cursor;
 pub use fastpath::{FastPathMode, FastPathState};
 pub use ikr::{ikr_bound, is_outlier, split_bound};
 pub use iter::{RangeIter, RangeScan, TreeIter};
-pub use key::{Key, OrderedF64};
+pub use key::{AnyBitPattern, Key, OrderedF64};
 pub use metrics::{
     Counter, FastPathWindow, HistogramSnapshot, LatencyHistogram, MetricsLevel, MetricsRegistry,
     FASTPATH_WINDOW, HISTOGRAM_BUCKETS,
