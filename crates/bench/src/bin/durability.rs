@@ -1,0 +1,322 @@
+//! Durability overhead and recovery benchmark: ingest throughput across
+//! the `DurabilityLevel` grid × K% sortedness, group-commit batching under
+//! concurrent writers, and crash-recovery time (full WAL replay vs sorted
+//! snapshot + tail). Dumps everything to `results/durability.json`.
+//!
+//! With `--check`, self-asserts the subsystem's acceptance bars: the JSON
+//! is valid, sorted-stream ingest at `GroupCommit` stays within 3× of
+//! `Buffered`, and recovery of the full dataset (snapshot + tail) lands
+//! under 5 s.
+//!
+//! ```sh
+//! cargo run --release -p quit-bench --bin durability -- --check
+//! ```
+//!
+//! Storage is `MemStorage` (its fsync is a bookkeeping mark, not a device
+//! flush) — the numbers price the WAL machinery itself: framing, CRC,
+//! buffer management, group-commit coordination, recovery replay.
+
+use bods::BodsSpec;
+use quit_bench::json_is_valid;
+use quit_concurrent::ConcConfig;
+use quit_core::{FastPathMode, SortedIndex, TreeConfig};
+use quit_durability::{
+    bptree_builder, concurrent_builder, DurabilityConfig, DurabilityLevel, Durable, MemStorage,
+    Storage,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Args {
+    n: usize,
+    seed: u64,
+    threads: usize,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        n: 2_000_000,
+        seed: 0xB0D5,
+        threads: 4,
+        check: false,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        let take = |i: usize| argv.get(i + 1).and_then(|v| v.parse::<u64>().ok());
+        match argv[i].as_str() {
+            "--n" => {
+                if let Some(v) = take(i) {
+                    a.n = v as usize;
+                    i += 1;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = take(i) {
+                    a.seed = v;
+                    i += 1;
+                }
+            }
+            "--threads" => {
+                if let Some(v) = take(i) {
+                    a.threads = (v as usize).max(1);
+                    i += 1;
+                }
+            }
+            "--check" => a.check = true,
+            "--quick" => a.n = a.n.min(200_000),
+            "--help" | "-h" => {
+                eprintln!("options: --n <entries> --seed <u64> --threads <n> --quick --check");
+                std::process::exit(0);
+            }
+            other => eprintln!("ignoring unknown option {other}"),
+        }
+        i += 1;
+    }
+    a
+}
+
+fn level_config(level: DurabilityLevel) -> DurabilityConfig {
+    DurabilityConfig::default().with_level(level)
+}
+
+fn main() {
+    let args = parse_args();
+    let n = args.n;
+    let tree_config = TreeConfig::paper_default();
+
+    // --- Ingest grid: durability level × sortedness -------------------
+    println!("durability overhead (N={n} point inserts, MemStorage):");
+    println!(
+        "  {:<14} {:>8} {:>12} {:>12} {:>10}",
+        "level", "K", "ns/insert", "wal appends", "fsyncs"
+    );
+    let mut json = format!("{{\"n\":{n},\"ingest\":[");
+    for level in [
+        DurabilityLevel::Off,
+        DurabilityLevel::Buffered,
+        DurabilityLevel::GroupCommit,
+    ] {
+        for k in [0.0f64, 0.05, 1.0] {
+            let keys = BodsSpec::new(n, k, 1.0).with_seed(args.seed).generate();
+            let storage = Arc::new(MemStorage::new());
+            let (mut d, _) = Durable::open(
+                storage as Arc<dyn Storage>,
+                level_config(level),
+                bptree_builder::<u64, u64>(FastPathMode::Pole, tree_config.clone()),
+            )
+            .unwrap();
+            let start = Instant::now();
+            for (i, &key) in keys.iter().enumerate() {
+                d.insert(key, i as u64);
+            }
+            let ns = start.elapsed().as_nanos() as f64 / n as f64;
+            let m = SortedIndex::<u64, u64>::metrics(&d);
+            println!(
+                "  {:<14} {:>7}% {:>12.1} {:>12} {:>10}",
+                format!("{level:?}"),
+                (k * 100.0) as u32,
+                ns,
+                m.wal_appends,
+                m.wal_fsyncs
+            );
+            if !json.ends_with('[') {
+                json.push(',');
+            }
+            json.push_str(&format!(
+                "{{\"level\":\"{level:?}\",\"k_pct\":{},\"ns_per_insert\":{ns:.1},\
+                 \"wal_appends\":{},\"wal_fsyncs\":{}}}",
+                (k * 100.0) as u32,
+                m.wal_appends,
+                m.wal_fsyncs
+            ));
+        }
+    }
+    json.push(']');
+
+    // --- Sorted-stream batch ingest per level -------------------------
+    // The paper's sorted-stream regime ingests leaf-at-a-time through
+    // `insert_batch`; the WAL amortizes identically — one append (and at
+    // GroupCommit one fsync) per sorted run, not per record. This is the
+    // phase the 3× acceptance bar measures.
+    println!("sorted-stream batch ingest (runs of 4096):");
+    let sorted: Vec<(u64, u64)> = (0..n as u64).map(|k| (k, k)).collect();
+    let mut batch_ns = std::collections::BTreeMap::new();
+    json.push_str(",\"batch_ingest\":[");
+    for level in [
+        DurabilityLevel::Off,
+        DurabilityLevel::Buffered,
+        DurabilityLevel::GroupCommit,
+    ] {
+        let storage = Arc::new(MemStorage::new());
+        let (mut d, _) = Durable::open(
+            storage as Arc<dyn Storage>,
+            level_config(level),
+            bptree_builder::<u64, u64>(FastPathMode::Pole, tree_config.clone()),
+        )
+        .unwrap();
+        let start = Instant::now();
+        for run in sorted.chunks(4096) {
+            d.insert_batch(run);
+        }
+        let ns = start.elapsed().as_nanos() as f64 / n as f64;
+        let m = SortedIndex::<u64, u64>::metrics(&d);
+        batch_ns.insert(format!("{level:?}"), ns);
+        println!(
+            "  {:<14} {ns:>8.1} ns/insert ({} fsyncs)",
+            format!("{level:?}"),
+            m.wal_fsyncs
+        );
+        if !json.ends_with('[') {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"level\":\"{level:?}\",\"ns_per_insert\":{ns:.1},\"wal_fsyncs\":{}}}",
+            m.wal_fsyncs
+        ));
+    }
+    json.push(']');
+
+    // --- Group commit under concurrent writers ------------------------
+    // N writers through Durable<ConcurrentTree>. Note MemStorage's fsync
+    // returns in nanoseconds, so the batching window is tiny and groups
+    // stay small here; on a real device (FsStorage) the multi-millisecond
+    // fsync is what makes writers pile into large groups.
+    let threads = args.threads;
+    let per = n / threads;
+    let storage = Arc::new(MemStorage::new());
+    let (d, _) = Durable::open(
+        storage as Arc<dyn Storage>,
+        DurabilityConfig::group_commit(),
+        concurrent_builder::<u64, u64>(ConcConfig::paper_default()),
+    )
+    .unwrap();
+    let d = Arc::new(d);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let d = d.clone();
+            scope.spawn(move || {
+                let base = (w as u64) << 40;
+                for i in 0..per as u64 {
+                    d.insert_shared(base + i, i);
+                }
+            });
+        }
+    });
+    let conc_ns = start.elapsed().as_nanos() as f64 / (per * threads) as f64;
+    let snap = d.wal().metrics().snapshot();
+    let groups = snap.group_commit_size.count();
+    let mean_group = if groups == 0 {
+        0.0
+    } else {
+        snap.group_commit_size.sum_ns as f64 / groups as f64
+    };
+    println!(
+        "group commit, {threads} writers: {conc_ns:.1} ns/insert, {} records in {} fsync groups \
+         (mean group {mean_group:.2})",
+        per * threads,
+        groups
+    );
+    json.push_str(&format!(
+        ",\"group_commit\":{{\"threads\":{threads},\"ns_per_insert\":{conc_ns:.1},\
+         \"fsync_groups\":{groups},\"mean_group_size\":{mean_group:.2}}}"
+    ));
+    drop(d);
+
+    // --- Recovery: full WAL replay vs snapshot + tail -----------------
+    let keys = BodsSpec::new(n, 0.05, 1.0).with_seed(args.seed).generate();
+    let storage = Arc::new(MemStorage::new());
+    let (mut d, _) = Durable::open(
+        storage.clone() as Arc<dyn Storage>,
+        DurabilityConfig::buffered(),
+        bptree_builder::<u64, u64>(FastPathMode::Pole, tree_config.clone()),
+    )
+    .unwrap();
+    for (i, &key) in keys.iter().enumerate() {
+        d.insert(key, i as u64);
+    }
+    d.commit_all().unwrap();
+    drop(d);
+
+    // Full replay: every record comes back through the WAL tail.
+    let crashed = Arc::new(storage.crash_durable_only());
+    let t0 = Instant::now();
+    let (d, report) = Durable::open(
+        crashed as Arc<dyn Storage>,
+        DurabilityConfig::buffered(),
+        bptree_builder::<u64, u64>(FastPathMode::Pole, tree_config.clone()),
+    )
+    .unwrap();
+    let replay_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(report.tail_records, n);
+    assert_eq!(d.len(), n);
+    println!("recovery, full WAL replay: {n} records in {replay_secs:.3} s");
+    drop(d);
+
+    // Snapshot + tail: checkpoint, append a 1% tail, crash, recover.
+    let storage = Arc::new(MemStorage::new());
+    let (mut d, _) = Durable::open(
+        storage.clone() as Arc<dyn Storage>,
+        DurabilityConfig::buffered(),
+        bptree_builder::<u64, u64>(FastPathMode::Pole, tree_config.clone()),
+    )
+    .unwrap();
+    for (i, &key) in keys.iter().enumerate() {
+        d.insert(key, i as u64);
+    }
+    d.checkpoint::<u64, u64>().unwrap();
+    let tail = n / 100;
+    for i in 0..tail as u64 {
+        d.insert(u64::MAX - tail as u64 + i, i);
+    }
+    d.commit_all().unwrap();
+    drop(d);
+    let crashed = Arc::new(storage.crash_durable_only());
+    let t0 = Instant::now();
+    let (d, report) = Durable::open(
+        crashed as Arc<dyn Storage>,
+        DurabilityConfig::buffered(),
+        bptree_builder::<u64, u64>(FastPathMode::Pole, tree_config),
+    )
+    .unwrap();
+    let snapshot_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(report.snapshot_entries, n);
+    assert_eq!(report.tail_records, tail);
+    assert_eq!(d.len(), n + tail);
+    println!(
+        "recovery, snapshot + tail: {} + {} entries in {snapshot_secs:.3} s",
+        report.snapshot_entries, report.tail_records
+    );
+    json.push_str(&format!(
+        ",\"recovery\":{{\"replay_records\":{n},\"replay_secs\":{replay_secs:.3},\
+         \"snapshot_entries\":{n},\"tail_records\":{tail},\"snapshot_tail_secs\":{snapshot_secs:.3}}}}}"
+    ));
+
+    assert!(json_is_valid(&json), "emitted document must be valid JSON");
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/durability.json", &json).expect("write results/durability.json");
+    println!("wrote results/durability.json ({} bytes)", json.len());
+
+    if args.check {
+        // Acceptance bars: sorted-stream group commit within 3× of
+        // buffered; snapshot+tail recovery under 5 s at 2M keys.
+        let buffered = batch_ns["Buffered"];
+        let group = batch_ns["GroupCommit"];
+        assert!(
+            group <= buffered * 3.0,
+            "GroupCommit sorted ingest {group:.1} ns must be within 3x of Buffered {buffered:.1} ns"
+        );
+        assert!(
+            snapshot_secs < 5.0,
+            "snapshot+tail recovery took {snapshot_secs:.3} s, bar is 5 s"
+        );
+        assert!(mean_group >= 1.0, "group commit must form groups");
+        println!(
+            "check passed: GroupCommit/Buffered = {:.2}x (bar 3x), recovery {snapshot_secs:.3} s \
+             (bar 5 s)",
+            group / buffered
+        );
+    }
+}

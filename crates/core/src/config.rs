@@ -52,6 +52,13 @@ pub struct TreeConfig {
     /// out-of-order entries in the future and want to avoid propagating
     /// splits" — this is that knob. 1.0 (default) packs maximally.
     pub max_variable_fill: f64,
+    /// Leaf fill factor used when this configuration is bulk-loaded — by
+    /// [`crate::BpTree::from_snapshot`] and by `quit-durability`'s
+    /// crash recovery — in `(0, 1]`. 1.0 (default) packs leaves full like a
+    /// classical bulk load; lower values leave insert headroom so a
+    /// restored tree's leaf counts (the denominator of the paper's Fig 10c
+    /// range-access numbers) match a deliberately under-filled deployment.
+    pub bulk_fill: f64,
     /// Simulated page size in bytes, used for memory-footprint accounting
     /// (Table 2); nodes are charged one full page each like a paged index.
     pub page_size_bytes: usize,
@@ -73,6 +80,7 @@ impl TreeConfig {
             redistribute: true,
             split_bound_rule: SplitBoundRule::Eq2,
             max_variable_fill: 1.0,
+            bulk_fill: 1.0,
             page_size_bytes: 4096,
             metrics_level: MetricsLevel::default(),
         }
@@ -89,6 +97,7 @@ impl TreeConfig {
             redistribute: true,
             split_bound_rule: SplitBoundRule::Eq2,
             max_variable_fill: 1.0,
+            bulk_fill: 1.0,
             page_size_bytes: 4096,
             metrics_level: MetricsLevel::default(),
         }
@@ -158,6 +167,17 @@ impl TreeConfig {
         self
     }
 
+    /// Builder-style override of the bulk-load fill factor (`0 < fill <= 1`)
+    /// applied when restoring this configuration from a snapshot.
+    pub fn with_bulk_fill(mut self, fill: f64) -> Self {
+        assert!(
+            fill > 0.0 && fill <= 1.0,
+            "bulk-load fill factor must be in (0, 1]"
+        );
+        self.bulk_fill = fill;
+        self
+    }
+
     /// Builder-style override of the telemetry level.
     pub fn with_metrics_level(mut self, level: MetricsLevel) -> Self {
         self.metrics_level = level;
@@ -174,6 +194,10 @@ impl TreeConfig {
         assert!(
             self.max_variable_fill > 0.5 && self.max_variable_fill <= 1.0,
             "variable-split fill cap must be in (0.5, 1.0]"
+        );
+        assert!(
+            self.bulk_fill > 0.0 && self.bulk_fill <= 1.0,
+            "bulk-load fill factor must be in (0, 1]"
         );
     }
 
@@ -233,6 +257,21 @@ mod tests {
         assert_eq!(c.metrics_level, MetricsLevel::Counters);
         let c = c.with_metrics_level(MetricsLevel::Histograms);
         assert_eq!(c.metrics_level, MetricsLevel::Histograms);
+    }
+
+    #[test]
+    fn bulk_fill_knob() {
+        let c = TreeConfig::small(8);
+        assert_eq!(c.bulk_fill, 1.0, "default packs leaves full");
+        let c = c.with_bulk_fill(0.7);
+        assert_eq!(c.bulk_fill, 0.7);
+        c.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "fill factor")]
+    fn rejects_zero_bulk_fill() {
+        let _ = TreeConfig::small(8).with_bulk_fill(0.0);
     }
 
     #[test]

@@ -378,6 +378,14 @@ pub struct MetricsRegistry {
     pub get_latency: LatencyHistogram,
     /// Range-scan latency (recorded at [`MetricsLevel::Histograms`]).
     pub range_latency: LatencyHistogram,
+    /// Commit-group sizes under group commit. The log2 buckets hold
+    /// *records per fsync*, not nanoseconds — [`LatencyHistogram`] is
+    /// reused here as a generic log2 value histogram. Recorded by
+    /// `quit-durability` regardless of level (no clock read involved).
+    pub group_commit_size: LatencyHistogram,
+    /// Crash-recovery wall-clock latency (one recording per recovery, so
+    /// the clock read is off every hot path).
+    pub recovery_latency: LatencyHistogram,
     /// Outcome window over the most recent inserts.
     pub fastpath_window: FastPathWindow,
 }
@@ -397,6 +405,8 @@ impl MetricsRegistry {
             insert_latency: LatencyHistogram::default(),
             get_latency: LatencyHistogram::default(),
             range_latency: LatencyHistogram::default(),
+            group_commit_size: LatencyHistogram::default(),
+            recovery_latency: LatencyHistogram::default(),
             fastpath_window: FastPathWindow::default(),
         }
     }
@@ -482,6 +492,8 @@ impl MetricsRegistry {
         snap.insert_latency = self.insert_latency.snapshot();
         snap.get_latency = self.get_latency.snapshot();
         snap.range_latency = self.range_latency.snapshot();
+        snap.group_commit_size = self.group_commit_size.snapshot();
+        snap.recovery_latency = self.recovery_latency.snapshot();
         snap.window_fast = self.fastpath_window.fast_hits();
         snap.window_len = self.fastpath_window.len();
         snap
@@ -494,6 +506,8 @@ impl MetricsRegistry {
         self.insert_latency.reset();
         self.get_latency.reset();
         self.range_latency.reset();
+        self.group_commit_size.reset();
+        self.recovery_latency.reset();
         self.fastpath_window.reset();
     }
 }

@@ -59,6 +59,11 @@ pub struct Stats {
     /// Optimistic descents that exhausted their restart budget and fell
     /// back to the pessimistic crabbing path.
     pub olc_fallbacks: Counter,
+    /// Records appended to a write-ahead log (`quit-durability`; zero for
+    /// purely in-memory indexes).
+    pub wal_appends: Counter,
+    /// WAL fsyncs issued (one per commit group under group commit).
+    pub wal_fsyncs: Counter,
 }
 
 impl Stats {
@@ -85,6 +90,8 @@ impl Stats {
         f(&self.leaf_borrows);
         f(&self.olc_restarts);
         f(&self.olc_fallbacks);
+        f(&self.wal_appends);
+        f(&self.wal_fsyncs);
     }
 
     /// Zeroes every counter (e.g. between ingest and query phases).
@@ -130,6 +137,8 @@ impl Stats {
             leaf_borrows: self.leaf_borrows.get(),
             olc_restarts: self.olc_restarts.get(),
             olc_fallbacks: self.olc_fallbacks.get(),
+            wal_appends: self.wal_appends.get(),
+            wal_fsyncs: self.wal_fsyncs.get(),
             ..Default::default()
         }
     }
@@ -172,12 +181,19 @@ pub struct StatsSnapshot {
     pub leaf_borrows: u64,
     pub olc_restarts: u64,
     pub olc_fallbacks: u64,
+    pub wal_appends: u64,
+    pub wal_fsyncs: u64,
     /// Insert latency histogram ([`crate::MetricsLevel::Histograms`] only).
     pub insert_latency: HistogramSnapshot,
     /// Point-lookup latency histogram.
     pub get_latency: HistogramSnapshot,
     /// Range-scan latency histogram.
     pub range_latency: HistogramSnapshot,
+    /// Commit-group sizes under group commit: log2 buckets of *records per
+    /// fsync*, not nanoseconds (`quit-durability`; empty elsewhere).
+    pub group_commit_size: HistogramSnapshot,
+    /// Crash-recovery latency (snapshot bulk load + WAL tail replay).
+    pub recovery_latency: HistogramSnapshot,
     /// Fast-path hits among the window's inserts.
     pub window_fast: u64,
     /// Inserts represented in the window (≤ [`crate::FASTPATH_WINDOW`]).
@@ -220,7 +236,7 @@ impl StatsSnapshot {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
         out.push('{');
-        let counters: [(&str, u64); 17] = [
+        let counters: [(&str, u64); 19] = [
             ("fast_inserts", self.fast_inserts),
             ("top_inserts", self.top_inserts),
             ("leaf_splits", self.leaf_splits),
@@ -238,6 +254,8 @@ impl StatsSnapshot {
             ("leaf_borrows", self.leaf_borrows),
             ("olc_restarts", self.olc_restarts),
             ("olc_fallbacks", self.olc_fallbacks),
+            ("wal_appends", self.wal_appends),
+            ("wal_fsyncs", self.wal_fsyncs),
         ];
         for (name, v) in counters {
             push_key(&mut out, name);
@@ -252,6 +270,8 @@ impl StatsSnapshot {
             ("insert_latency", &self.insert_latency),
             ("get_latency", &self.get_latency),
             ("range_latency", &self.range_latency),
+            ("group_commit_size", &self.group_commit_size),
+            ("recovery_latency", &self.recovery_latency),
         ] {
             push_key(&mut out, name);
             push_histogram(&mut out, h);

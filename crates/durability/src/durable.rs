@@ -1,0 +1,635 @@
+//! [`Durable<T>`]: write-ahead logging and crash recovery wrapped around
+//! any [`SortedIndex`].
+//!
+//! The wrapper is log-then-apply: every mutation is framed into the WAL
+//! before it touches the wrapped index, so at any instant the durable WAL
+//! prefix describes a state the index has already reached or will reach —
+//! recovery replays that prefix and lands on exactly the state covered by
+//! the last durable group. Lookups and scans pass straight through.
+//!
+//! Recovery composes the two sortedness fast paths this workspace is
+//! built around: the snapshot is key-ordered, so it `bulk_load`s in O(n)
+//! at the configured leaf fill; the WAL tail is append-mostly, so
+//! [`apply_tail`] feeds its insert runs through `insert_batch` sorted-run
+//! detection instead of point inserts.
+
+use crate::frame::WalCodec;
+use crate::snapshot::load_best_snapshot;
+use crate::storage::Storage;
+use crate::wal::{scan_wal, Lsn, Wal, WalTuning};
+use crate::WalOp;
+use quit_concurrent::{ConcConfig, ConcurrentTree};
+use quit_core::{BpTree, FastPathMode, Key, SortedIndex, StatsSnapshot, TreeConfig};
+use std::io;
+use std::ops::RangeBounds;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How much durability each mutation buys before it returns.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DurabilityLevel {
+    /// No logging at all — the wrapper is a transparent shim (for
+    /// apples-to-apples overhead measurement).
+    Off,
+    /// Mutations are framed into the WAL buffer and flushed to the OS as
+    /// the buffer fills, but never fsynced on the hot path. A crash loses
+    /// at most the unflushed/unsynced suffix; recovery still lands on a
+    /// consistent prefix.
+    Buffered,
+    /// Every mutation (or batch) waits for an fsync covering its LSN
+    /// before returning — batched by the group-commit leader, so
+    /// concurrent writers share one fsync per group (default).
+    #[default]
+    GroupCommit,
+}
+
+/// Configuration for [`Durable`], following the workspace's config-knob
+/// idiom (`TreeConfig`/`ConcConfig`): constructors for the common cases,
+/// `with_*` builders for the rest.
+#[derive(Clone, Copy, Debug)]
+pub struct DurabilityConfig {
+    /// Durability bought per mutation.
+    pub level: DurabilityLevel,
+    /// Segment rotation threshold in bytes.
+    pub segment_bytes: usize,
+    /// WAL append-buffer size in bytes (0 = write-through).
+    pub wal_buffer_bytes: usize,
+    /// Entries per CRC-framed snapshot chunk.
+    pub snapshot_chunk: usize,
+    /// Remove superseded segments and snapshots after a checkpoint.
+    pub prune_on_checkpoint: bool,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            level: DurabilityLevel::GroupCommit,
+            segment_bytes: 8 << 20,
+            wal_buffer_bytes: 64 << 10,
+            snapshot_chunk: 1024,
+            prune_on_checkpoint: true,
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// Group-commit durability (the default).
+    pub fn group_commit() -> Self {
+        Self::default()
+    }
+
+    /// Buffered logging: WAL written, fsync off the hot path.
+    pub fn buffered() -> Self {
+        Self::default().with_level(DurabilityLevel::Buffered)
+    }
+
+    /// Logging disabled (overhead baseline).
+    pub fn off() -> Self {
+        Self::default().with_level(DurabilityLevel::Off)
+    }
+
+    /// Builder-style override of the durability level.
+    pub fn with_level(mut self, level: DurabilityLevel) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// Builder-style override of the segment rotation threshold.
+    pub fn with_segment_bytes(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "segment size must be positive");
+        self.segment_bytes = bytes;
+        self
+    }
+
+    /// Builder-style override of the WAL buffer size (0 = write-through).
+    pub fn with_wal_buffer_bytes(mut self, bytes: usize) -> Self {
+        self.wal_buffer_bytes = bytes;
+        self
+    }
+
+    /// Builder-style override of the snapshot chunk size (entries).
+    pub fn with_snapshot_chunk(mut self, entries: usize) -> Self {
+        assert!(entries > 0, "snapshot chunk must be positive");
+        self.snapshot_chunk = entries;
+        self
+    }
+
+    /// Builder-style toggle of checkpoint pruning.
+    pub fn with_prune_on_checkpoint(mut self, prune: bool) -> Self {
+        self.prune_on_checkpoint = prune;
+        self
+    }
+
+    fn tuning(&self) -> WalTuning {
+        WalTuning {
+            segment_bytes: self.segment_bytes,
+            buffer_bytes: self.wal_buffer_bytes,
+        }
+    }
+}
+
+/// What [`Durable::open`] recovered, for logging and test assertions.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// Entries bulk-loaded from the newest valid snapshot.
+    pub snapshot_entries: usize,
+    /// LSN the snapshot covered (0 = no snapshot).
+    pub snapshot_lsn: Lsn,
+    /// WAL records replayed past the snapshot.
+    pub tail_records: usize,
+    /// Last LSN recovered; the next append gets `recovered_lsn + 1`.
+    pub recovered_lsn: Lsn,
+    /// True if the WAL ended in a torn/corrupt frame (expected after a
+    /// mid-write crash; everything up to it is recovered).
+    pub torn_tail: bool,
+    /// Segments that contributed no records (stale generations, corrupt
+    /// headers).
+    pub stale_segments: usize,
+    /// Snapshot files rejected as corrupt before one validated.
+    pub rejected_snapshots: usize,
+    /// Wall-clock recovery time (also recorded in the `recovery_latency`
+    /// histogram).
+    pub elapsed: Duration,
+}
+
+/// A [`SortedIndex`] with a write-ahead log in front of it.
+///
+/// Mutations through the [`SortedIndex`] impl (and the `&self` shared API
+/// of [`Durable<ConcurrentTree>`]) are logged first, then applied. I/O
+/// errors on the log path panic — the trait has no error channel, and a
+/// WAL that can no longer write must not let callers believe their writes
+/// are durable. Use [`Durable::flush`]/[`Durable::commit_all`] for
+/// explicit durability points at the `Buffered` level.
+pub struct Durable<T> {
+    inner: T,
+    wal: Wal,
+    config: DurabilityConfig,
+}
+
+impl<T> Durable<T> {
+    /// Opens (or creates) a durable index on `storage`: loads the newest
+    /// valid snapshot, bulk-builds the inner index from it via `build`,
+    /// replays the WAL tail through [`apply_tail`], and positions the WAL
+    /// to append after the last recovered LSN.
+    ///
+    /// `build` receives the snapshot's entries in key order; use
+    /// [`bptree_builder`]/[`concurrent_builder`] for the in-workspace
+    /// families (they honour `TreeConfig::bulk_fill`).
+    pub fn open<K, V, F>(
+        storage: Arc<dyn Storage>,
+        config: DurabilityConfig,
+        build: F,
+    ) -> io::Result<(Self, RecoveryReport)>
+    where
+        K: Key + WalCodec,
+        V: Clone + WalCodec,
+        T: SortedIndex<K, V>,
+        F: FnOnce(Vec<(K, V)>) -> T,
+    {
+        let t0 = Instant::now();
+        let ((snap_generation, snapshot_lsn, entries), rejected_snapshots) =
+            load_best_snapshot::<K, V>(&*storage)?;
+        let snapshot_entries = entries.len();
+        let scan = scan_wal::<K, V>(&*storage, snapshot_lsn, snap_generation)?;
+        let mut inner = build(entries);
+        let tail_records = apply_tail(&mut inner, &scan.tail);
+        let wal = Wal::resume(
+            storage,
+            config.tuning(),
+            scan.resume_generation,
+            scan.resume_seq,
+            scan.last_lsn + 1,
+        );
+        let elapsed = t0.elapsed();
+        wal.metrics()
+            .recovery_latency
+            .record_ns(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+        let report = RecoveryReport {
+            snapshot_entries,
+            snapshot_lsn,
+            tail_records,
+            recovered_lsn: scan.last_lsn,
+            torn_tail: scan.torn,
+            stale_segments: scan.stale_segments,
+            rejected_snapshots,
+            elapsed,
+        };
+        Ok((Durable { inner, wal, config }, report))
+    }
+
+    /// The wrapped index (shared access — this is how readers reach a
+    /// `ConcurrentTree`'s `&self` API).
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// The wrapped index, mutably (bypasses logging — mutations made here
+    /// are *not* durable; meant for inspection helpers like
+    /// `check_invariants`).
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+
+    /// Unwraps the index, dropping the WAL handle.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DurabilityConfig {
+        &self.config
+    }
+
+    /// The wrapped WAL (metrics, LSN watermarks).
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+
+    /// Pushes any buffered WAL bytes to the OS (no fsync).
+    pub fn flush(&self) -> io::Result<()> {
+        self.wal.flush()
+    }
+
+    /// Blocks until everything logged so far is fsync-durable (explicit
+    /// durability point for the `Buffered` level; a no-op at `Off`).
+    pub fn commit_all(&self) -> io::Result<()> {
+        if self.config.level == DurabilityLevel::Off {
+            return Ok(());
+        }
+        self.wal.commit(self.wal.last_lsn())
+    }
+
+    /// Logs `ops` according to the configured level. Panics on I/O error
+    /// (see the type-level docs).
+    fn log<K: WalCodec, V: WalCodec>(&self, ops: &[WalOp<K, V>]) {
+        match self.config.level {
+            DurabilityLevel::Off => {}
+            DurabilityLevel::Buffered => {
+                self.wal.append(ops).expect("WAL append failed");
+            }
+            DurabilityLevel::GroupCommit => {
+                let lsn = self.wal.append(ops).expect("WAL append failed");
+                self.wal.commit(lsn).expect("WAL fsync failed");
+            }
+        }
+    }
+
+    /// Checkpoint: writes the index's full contents as a sorted snapshot,
+    /// rotates the WAL to a fresh generation, and prunes superseded files
+    /// (if configured). After this, recovery is `bulk_load + (tiny) tail`.
+    pub fn checkpoint<K, V>(&mut self) -> io::Result<()>
+    where
+        K: Key + WalCodec,
+        V: Clone + WalCodec,
+        T: SortedIndex<K, V>,
+    {
+        let entries: Vec<(K, V)> = self.inner.range(..).collect();
+        self.wal.checkpoint(
+            &entries,
+            self.config.snapshot_chunk,
+            self.config.prune_on_checkpoint,
+        )
+    }
+}
+
+impl<K, V, T> SortedIndex<K, V> for Durable<T>
+where
+    K: Key + WalCodec,
+    V: Clone + WalCodec,
+    T: SortedIndex<K, V>,
+{
+    fn insert(&mut self, key: K, value: V) {
+        self.log(&[WalOp::Insert(key, value.clone())]);
+        self.inner.insert(key, value);
+    }
+
+    fn insert_batch(&mut self, entries: &[(K, V)]) -> usize {
+        if !entries.is_empty() {
+            let ops: Vec<WalOp<K, V>> = entries
+                .iter()
+                .map(|&(k, ref v)| WalOp::Insert(k, v.clone()))
+                .collect();
+            // One append + (at GroupCommit) one commit for the whole
+            // batch: the WAL amortizes exactly like the tree's sorted-run
+            // fast path does.
+            self.log(&ops);
+        }
+        self.inner.insert_batch(entries)
+    }
+
+    fn get(&mut self, key: K) -> Option<V> {
+        self.inner.get(key)
+    }
+
+    fn delete(&mut self, key: K) -> Option<V> {
+        // Always logged, hit or miss: a miss-delete replays as a no-op, so
+        // skipping the read-before-write keeps the hot path cheap and
+        // replay deterministic.
+        self.log(&[WalOp::<K, V>::Delete(key)]);
+        self.inner.delete(key)
+    }
+
+    fn range<R: RangeBounds<K>>(&mut self, bounds: R) -> impl Iterator<Item = (K, V)> + '_ {
+        self.inner.range(bounds)
+    }
+
+    fn range_with_stats<R: RangeBounds<K>>(&mut self, bounds: R) -> quit_core::RangeScan<K, V> {
+        self.inner.range_with_stats(bounds)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn metrics(&self) -> StatsSnapshot {
+        let mut snap = self.inner.metrics();
+        let wal = self.wal.metrics().snapshot();
+        snap.wal_appends = wal.wal_appends;
+        snap.wal_fsyncs = wal.wal_fsyncs;
+        snap.group_commit_size = wal.group_commit_size;
+        snap.recovery_latency = wal.recovery_latency;
+        snap
+    }
+
+    fn reset_metrics(&self) {
+        self.inner.reset_metrics();
+        self.wal.metrics().reset();
+    }
+}
+
+impl<K, V> Durable<ConcurrentTree<K, V>>
+where
+    K: Key + WalCodec,
+    V: Clone + WalCodec,
+{
+    /// Logged insert through `&self` — N threads call this concurrently;
+    /// at `GroupCommit` their fsyncs batch through the group-commit
+    /// leader while the tree insert itself rides the OLC write path.
+    pub fn insert_shared(&self, key: K, value: V) {
+        self.log(&[WalOp::Insert(key, value.clone())]);
+        self.inner.insert(key, value);
+    }
+
+    /// Logged delete through `&self` (miss-deletes log a no-op record).
+    pub fn delete_shared(&self, key: K) -> Option<V> {
+        self.log(&[WalOp::<K, V>::Delete(key)]);
+        self.inner.delete(key)
+    }
+
+    /// The underlying concurrent tree, for `&self` reads (`get`, `range`).
+    pub fn tree(&self) -> &ConcurrentTree<K, V> {
+        &self.inner
+    }
+}
+
+/// Replays a recovered WAL tail into `index`, batching consecutive insert
+/// runs through [`SortedIndex::insert_batch`] so the append-mostly tail
+/// rides the sorted-run fast path instead of n point inserts. Returns the
+/// number of records applied.
+pub fn apply_tail<K, V, T>(index: &mut T, tail: &[WalOp<K, V>]) -> usize
+where
+    K: Key,
+    V: Clone,
+    T: SortedIndex<K, V>,
+{
+    let mut run: Vec<(K, V)> = Vec::new();
+    for op in tail {
+        match op {
+            WalOp::Insert(k, v) => run.push((*k, v.clone())),
+            WalOp::Delete(k) => {
+                if !run.is_empty() {
+                    index.insert_batch(&run);
+                    run.clear();
+                }
+                index.delete(*k);
+            }
+        }
+    }
+    if !run.is_empty() {
+        index.insert_batch(&run);
+    }
+    tail.len()
+}
+
+/// A [`Durable::open`] builder for [`BpTree`]: bulk-loads the snapshot at
+/// the configuration's `bulk_fill` (the Fig 10c leaf-count knob), so a
+/// recovered tree gets the same leaf occupancy the deployment configured.
+pub fn bptree_builder<K: Key, V: Clone>(
+    mode: FastPathMode,
+    config: TreeConfig,
+) -> impl FnOnce(Vec<(K, V)>) -> BpTree<K, V> {
+    move |entries| {
+        let fill = config.bulk_fill;
+        BpTree::bulk_load(mode, config, entries, fill)
+    }
+}
+
+/// A [`Durable::open`] builder for [`ConcurrentTree`]: loads the snapshot
+/// through `insert_batch`, whose sorted-run detection makes key-ordered
+/// recovery input an append-mostly stream.
+pub fn concurrent_builder<K: Key, V: Clone>(
+    config: ConcConfig,
+) -> impl FnOnce(Vec<(K, V)>) -> ConcurrentTree<K, V> {
+    move |entries| {
+        let mut tree = ConcurrentTree::new(config);
+        SortedIndex::insert_batch(&mut tree, &entries);
+        tree
+    }
+}
+
+#[cfg(all(test, not(feature = "inject-wal-bug")))]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+    use quit_core::Variant;
+
+    fn quit_builder() -> impl FnOnce(Vec<(u64, u64)>) -> BpTree<u64, u64> {
+        bptree_builder(FastPathMode::Pole, TreeConfig::small(16))
+    }
+
+    fn open(
+        storage: &Arc<MemStorage>,
+        config: DurabilityConfig,
+    ) -> (Durable<BpTree<u64, u64>>, RecoveryReport) {
+        Durable::open(storage.clone() as Arc<dyn Storage>, config, quit_builder()).unwrap()
+    }
+
+    #[test]
+    fn fresh_open_is_empty() {
+        let storage = Arc::new(MemStorage::new());
+        let (d, report) = open(&storage, DurabilityConfig::group_commit());
+        assert!(d.inner().is_empty());
+        assert_eq!(report.recovered_lsn, 0);
+        assert_eq!(report.snapshot_entries, 0);
+        assert!(!report.torn_tail);
+    }
+
+    #[test]
+    fn committed_writes_survive_the_harshest_crash() {
+        let storage = Arc::new(MemStorage::new());
+        let (mut d, _) = open(&storage, DurabilityConfig::group_commit());
+        for k in 0..100u64 {
+            d.insert(k, k * 2);
+        }
+        d.delete(50);
+        assert_eq!(d.len(), 99);
+
+        let crashed = Arc::new(storage.crash_durable_only());
+        let (mut d2, report) = open(&crashed, DurabilityConfig::group_commit());
+        assert_eq!(report.recovered_lsn, 101);
+        assert_eq!(report.tail_records, 101);
+        assert_eq!(d2.len(), 99);
+        assert_eq!(d2.get(50), None);
+        assert_eq!(d2.get(99), Some(198));
+        d2.inner().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn buffered_level_loses_at_most_the_unsynced_suffix() {
+        let storage = Arc::new(MemStorage::new());
+        let (mut d, _) = open(&storage, DurabilityConfig::buffered());
+        for k in 0..1000u64 {
+            d.insert(k, k);
+        }
+        d.commit_all().unwrap();
+        for k in 1000..2000u64 {
+            d.insert(k, k);
+        }
+        // No commit for the second thousand.
+        let crashed = Arc::new(storage.crash_durable_only());
+        let (d2, report) = open(&crashed, DurabilityConfig::buffered());
+        assert!(
+            report.recovered_lsn >= 1000,
+            "committed prefix must survive"
+        );
+        assert_eq!(d2.inner().len() as u64, report.recovered_lsn);
+    }
+
+    #[test]
+    fn off_level_logs_nothing() {
+        let storage = Arc::new(MemStorage::new());
+        let (mut d, _) = open(&storage, DurabilityConfig::off());
+        for k in 0..100u64 {
+            d.insert(k, k);
+        }
+        assert_eq!(storage.total_appended(), 0);
+        assert_eq!(SortedIndex::<u64, u64>::metrics(&d).wal_appends, 0);
+    }
+
+    #[test]
+    fn checkpoint_then_tail_recovers_and_prunes() {
+        let storage = Arc::new(MemStorage::new());
+        let (mut d, _) = open(&storage, DurabilityConfig::group_commit());
+        let batch: Vec<(u64, u64)> = (0..500u64).map(|k| (k, k)).collect();
+        d.insert_batch(&batch);
+        d.checkpoint::<u64, u64>().unwrap();
+        // Post-checkpoint tail.
+        for k in 500..600u64 {
+            d.insert(k, k);
+        }
+        d.delete(0);
+
+        let files = storage.list().unwrap();
+        assert!(
+            files.iter().any(|f| f.starts_with("snap-")),
+            "snapshot written: {files:?}"
+        );
+        assert!(
+            !files.iter().any(|f| f.contains("wal-00000000")),
+            "generation-0 segments pruned: {files:?}"
+        );
+
+        let crashed = Arc::new(storage.crash_durable_only());
+        let (mut d2, report) = open(&crashed, DurabilityConfig::group_commit());
+        assert_eq!(report.snapshot_entries, 500);
+        assert_eq!(report.snapshot_lsn, 500);
+        assert_eq!(report.tail_records, 101);
+        assert_eq!(d2.len(), 599);
+        assert_eq!(d2.get(0), None);
+        assert_eq!(d2.get(599), Some(599));
+    }
+
+    #[test]
+    fn recovered_bptree_honours_bulk_fill() {
+        let storage = Arc::new(MemStorage::new());
+        let config = TreeConfig::small(16).with_bulk_fill(0.7);
+        let build = bptree_builder::<u64, u64>(FastPathMode::Pole, config.clone());
+        let (mut d, _) = Durable::open(
+            storage.clone() as Arc<dyn Storage>,
+            DurabilityConfig::group_commit(),
+            build,
+        )
+        .unwrap();
+        let batch: Vec<(u64, u64)> = (0..2000u64).map(|k| (k, k)).collect();
+        d.insert_batch(&batch);
+        d.checkpoint::<u64, u64>().unwrap();
+
+        let crashed = Arc::new(storage.crash_durable_only());
+        let (d2, report) = Durable::open(
+            crashed as Arc<dyn Storage>,
+            DurabilityConfig::group_commit(),
+            bptree_builder::<u64, u64>(FastPathMode::Pole, config),
+        )
+        .unwrap();
+        assert_eq!(report.snapshot_entries, 2000);
+        let occ = d2.inner().memory_report().avg_leaf_occupancy;
+        assert!(
+            (0.6..0.8).contains(&occ),
+            "recovered occupancy {occ} must match the configured 0.7 fill"
+        );
+    }
+
+    #[test]
+    fn durable_concurrent_tree_shared_writers() {
+        let storage = Arc::new(MemStorage::new());
+        let (d, _) = Durable::open(
+            storage.clone() as Arc<dyn Storage>,
+            DurabilityConfig::group_commit(),
+            concurrent_builder::<u64, u64>(ConcConfig::small(32)),
+        )
+        .unwrap();
+        let d = Arc::new(d);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let d = d.clone();
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        d.insert_shared(t * 10_000 + i, i);
+                    }
+                });
+            }
+        });
+        assert_eq!(d.tree().len(), 800);
+
+        let crashed = Arc::new(storage.crash_durable_only());
+        let (d2, report) = Durable::open(
+            crashed as Arc<dyn Storage>,
+            DurabilityConfig::group_commit(),
+            concurrent_builder::<u64, u64>(ConcConfig::small(32)),
+        )
+        .unwrap();
+        assert_eq!(report.recovered_lsn, 800, "every acked insert is durable");
+        assert_eq!(d2.tree().len(), 800);
+        d2.tree().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn apply_tail_batches_insert_runs() {
+        let mut t = Variant::Quit.build::<u64, u64>(TreeConfig::small(16));
+        let tail: Vec<WalOp<u64, u64>> = (0..100u64)
+            .map(|k| WalOp::Insert(k, k))
+            .chain(std::iter::once(WalOp::Delete(5)))
+            .chain((100..200u64).map(|k| WalOp::Insert(k, k)))
+            .collect();
+        let applied = apply_tail(&mut t, &tail);
+        assert_eq!(applied, 201);
+        assert_eq!(t.len(), 199);
+        let m = t.metrics_registry().snapshot();
+        assert!(
+            m.fast_inserts > m.top_inserts,
+            "sorted tail must ride the fast path: {} fast vs {} top",
+            m.fast_inserts,
+            m.top_inserts
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! # quit-durability — crash durability for the QuIT index family
+//!
+//! Everything else in this workspace lives and dies with the process; this
+//! crate makes an index survive a crash, built around the same observation
+//! the paper builds ingestion around: **sortedness is cheap to exploit**.
+//!
+//! * A **segmented write-ahead log** ([`Wal`]) frames every mutation with
+//!   a CRC32 and a dense LSN (hand-rolled, no dependencies). Concurrent
+//!   writers batch their fsyncs through a **group-commit** leader — one
+//!   fsync per group, composing with `ConcurrentTree`'s OLC write path.
+//! * **Sorted snapshots** (checkpoints) walk the tree in key order, so
+//!   recovery is `bulk_load(snapshot)` — O(n), packed to the configured
+//!   `TreeConfig::bulk_fill` — `+ replay(WAL tail)`, with the
+//!   append-mostly tail fed through `insert_batch`'s sorted-run fast path
+//!   ([`apply_tail`]).
+//! * [`Durable<T>`] wraps any `SortedIndex` with log-then-apply semantics
+//!   behind three [`DurabilityLevel`]s: `Off`, `Buffered`, `GroupCommit`.
+//! * Verification is part of the subsystem: [`MemStorage`] models a crash
+//!   as an arbitrary byte prefix of the global append order (never less
+//!   than what fsync promised), [`FaultyWriter`] injects torn/short/
+//!   bit-flipped writes, and `quit-testkit`'s crash-recovery differential
+//!   mode fuzzes crash points against a model replayed to the last durable
+//!   group.
+//!
+//! ```
+//! use quit_core::{FastPathMode, SortedIndex, TreeConfig};
+//! use quit_durability::{bptree_builder, Durable, DurabilityConfig, MemStorage, Storage};
+//! use std::sync::Arc;
+//!
+//! let storage = Arc::new(MemStorage::new());
+//! let build = || bptree_builder::<u64, u64>(FastPathMode::Pole, TreeConfig::paper_default());
+//! let (mut index, _) = Durable::open(
+//!     storage.clone() as Arc<dyn Storage>,
+//!     DurabilityConfig::group_commit(),
+//!     build(),
+//! )
+//! .unwrap();
+//! index.insert(1, 10);
+//! index.insert(2, 20);
+//!
+//! // Crash keeping only fsync-guaranteed bytes, then recover.
+//! let crashed = Arc::new(storage.crash_durable_only());
+//! let (mut recovered, report) = Durable::open(
+//!     crashed as Arc<dyn Storage>,
+//!     DurabilityConfig::group_commit(),
+//!     build(),
+//! )
+//! .unwrap();
+//! assert_eq!(report.recovered_lsn, 2);
+//! assert_eq!(recovered.get(2), Some(20));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod durable;
+mod frame;
+mod snapshot;
+mod storage;
+mod wal;
+
+pub use durable::{
+    apply_tail, bptree_builder, concurrent_builder, DurabilityConfig, DurabilityLevel, Durable,
+    RecoveryReport,
+};
+pub use frame::{crc32, WalCodec, WalOp};
+pub use storage::{FaultyWriter, FsStorage, MemStorage, Storage};
+pub use wal::{Lsn, Wal, WalTuning};

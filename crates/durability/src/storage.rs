@@ -1,0 +1,435 @@
+//! Storage backends for WAL segments and snapshot files.
+//!
+//! The WAL talks to a tiny append-only [`Storage`] trait so the same
+//! durability logic runs against real files ([`FsStorage`]) and against an
+//! in-memory backend ([`MemStorage`]) whose *crash model* the tests control
+//! precisely: every appended byte is recorded in one global append order,
+//! and "crashing" keeps an arbitrary prefix of that order (never less than
+//! what an `fsync` made durable) — exactly the guarantee a journaling
+//! filesystem gives an appended log.
+//!
+//! [`FaultyWriter`] is the complementary fault-injecting [`io::Write`] shim
+//! for code paths that take a writer: it tears writes at a byte offset,
+//! caps write sizes (short writes), and flips bits, producing the corrupt
+//! byte streams the recovery path must survive.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Append-only file storage, as seen by the WAL: named streams that can be
+/// appended, fsynced, read back whole, listed, and removed.
+///
+/// Implementations are shared across writer threads (`Send + Sync`); the
+/// WAL serializes appends itself, so backends only need per-call interior
+/// mutability, not ordering guarantees beyond "appends to one file apply in
+/// call order".
+pub trait Storage: Send + Sync {
+    /// Appends `bytes` to `file`, creating it if absent. Not durable until
+    /// [`sync`](Self::sync).
+    fn append(&self, file: &str, bytes: &[u8]) -> io::Result<()>;
+
+    /// Makes every byte appended to `file` so far durable (fsync).
+    fn sync(&self, file: &str) -> io::Result<()>;
+
+    /// Reads the full current contents of `file`.
+    fn read(&self, file: &str) -> io::Result<Vec<u8>>;
+
+    /// Lists every file name present.
+    fn list(&self) -> io::Result<Vec<String>>;
+
+    /// Removes `file` (ok if already gone — recovery prunes idempotently).
+    fn remove(&self, file: &str) -> io::Result<()>;
+}
+
+#[derive(Clone, Default)]
+struct MemFile {
+    data: Vec<u8>,
+    /// Bytes guaranteed to survive a crash (advanced by `sync`).
+    durable: usize,
+}
+
+#[derive(Default)]
+struct MemInner {
+    files: BTreeMap<String, MemFile>,
+    /// Global append order: `(file, len)` per append call. A crash keeps a
+    /// prefix of this sequence (plus everything under each durable floor).
+    order: Vec<(String, usize)>,
+}
+
+/// In-memory [`Storage`] with an explicit crash model, for recovery tests.
+///
+/// Appends land in per-file buffers *and* a global append-order journal.
+/// [`crash`](MemStorage::crash) rolls the world back to "the first `keep`
+/// appended bytes reached the disk, plus whatever `sync` already made
+/// durable" — the byte-prefix crash model of the ISSUE's differential
+/// fuzzer. `keep` ranges over [`total_appended`](MemStorage::total_appended)
+/// bytes, so a fuzzer can bisect crash points without knowing file layout.
+#[derive(Default)]
+pub struct MemStorage {
+    inner: Mutex<MemInner>,
+}
+
+impl MemStorage {
+    /// An empty in-memory store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes ever appended (the crash-point domain).
+    pub fn total_appended(&self) -> usize {
+        let inner = self.inner.lock().unwrap();
+        inner.order.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Total bytes currently guaranteed durable across all files.
+    pub fn durable_bytes(&self) -> usize {
+        let inner = self.inner.lock().unwrap();
+        inner.files.values().map(|f| f.durable).sum()
+    }
+
+    /// A post-crash copy of this store: for each file, the surviving length
+    /// is `max(durable, bytes of that file among the first `keep` appended
+    /// bytes)`. `keep == total_appended()` reproduces everything;
+    /// `keep == 0` keeps only what `sync` promised.
+    pub fn crash(&self, keep: usize) -> MemStorage {
+        let inner = self.inner.lock().unwrap();
+        let mut kept: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut budget = keep;
+        for (name, len) in &inner.order {
+            let take = (*len).min(budget);
+            *kept.entry(name.as_str()).or_insert(0) += take;
+            budget -= take;
+            if budget == 0 {
+                break;
+            }
+        }
+        let mut files = BTreeMap::new();
+        let mut order = Vec::new();
+        for (name, f) in &inner.files {
+            let survive = f.durable.max(kept.get(name.as_str()).copied().unwrap_or(0));
+            files.insert(
+                name.clone(),
+                MemFile {
+                    data: f.data[..survive.min(f.data.len())].to_vec(),
+                    durable: survive.min(f.data.len()),
+                },
+            );
+            order.push((name.clone(), survive.min(f.data.len())));
+        }
+        MemStorage {
+            inner: Mutex::new(MemInner { files, order }),
+        }
+    }
+
+    /// A post-crash copy keeping only fsync-guaranteed bytes (the harshest
+    /// legal crash).
+    pub fn crash_durable_only(&self) -> MemStorage {
+        self.crash(0)
+    }
+
+    /// Installs a file with explicit raw contents (for corrupted-tail
+    /// tests that fabricate segments byte-by-byte). Contents count as
+    /// durable.
+    pub fn install(&self, file: &str, bytes: Vec<u8>) {
+        let mut inner = self.inner.lock().unwrap();
+        let len = bytes.len();
+        inner.files.insert(
+            file.to_string(),
+            MemFile {
+                data: bytes,
+                durable: len,
+            },
+        );
+        inner.order.push((file.to_string(), len));
+    }
+}
+
+impl Storage for MemStorage {
+    fn append(&self, file: &str, bytes: &[u8]) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .files
+            .entry(file.to_string())
+            .or_default()
+            .data
+            .extend_from_slice(bytes);
+        inner.order.push((file.to_string(), bytes.len()));
+        Ok(())
+    }
+
+    fn sync(&self, file: &str) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(f) = inner.files.get_mut(file) {
+            f.durable = f.data.len();
+        }
+        Ok(())
+    }
+
+    fn read(&self, file: &str) -> io::Result<Vec<u8>> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .files
+            .get(file)
+            .map(|f| f.data.clone())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, file.to_string()))
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let inner = self.inner.lock().unwrap();
+        Ok(inner.files.keys().cloned().collect())
+    }
+
+    fn remove(&self, file: &str) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.files.remove(file);
+        Ok(())
+    }
+}
+
+/// Real-file [`Storage`] rooted at a directory. Appends keep a cached
+/// `O_APPEND` handle per file; [`sync`](Storage::sync) maps to
+/// `fdatasync`.
+pub struct FsStorage {
+    dir: PathBuf,
+    handles: Mutex<BTreeMap<String, File>>,
+}
+
+impl FsStorage {
+    /// Opens (creating if needed) the storage directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(FsStorage {
+            dir,
+            handles: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// The directory this store writes under.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    fn with_handle<R>(
+        &self,
+        file: &str,
+        f: impl FnOnce(&mut File) -> io::Result<R>,
+    ) -> io::Result<R> {
+        let mut handles = self.handles.lock().unwrap();
+        if !handles.contains_key(file) {
+            let h = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.dir.join(file))?;
+            handles.insert(file.to_string(), h);
+        }
+        f(handles.get_mut(file).unwrap())
+    }
+}
+
+impl Storage for FsStorage {
+    fn append(&self, file: &str, bytes: &[u8]) -> io::Result<()> {
+        self.with_handle(file, |h| h.write_all(bytes))
+    }
+
+    fn sync(&self, file: &str) -> io::Result<()> {
+        self.with_handle(file, |h| h.sync_data())
+    }
+
+    fn read(&self, file: &str) -> io::Result<Vec<u8>> {
+        std::fs::read(self.dir.join(file))
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                if let Ok(name) = entry.file_name().into_string() {
+                    names.push(name);
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn remove(&self, file: &str) -> io::Result<()> {
+        self.handles.lock().unwrap().remove(file);
+        match std::fs::remove_file(self.dir.join(file)) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
+    }
+}
+
+/// A fault-injecting [`io::Write`] wrapper: tears the stream at a byte
+/// offset (bytes past it vanish while the writer believes they landed —
+/// a crash before the data reached the platter), caps individual write
+/// sizes (short writes, forcing callers to handle partial `write`
+/// returns), and flips one bit at a chosen offset (media corruption).
+pub struct FaultyWriter<W: Write> {
+    inner: W,
+    written: u64,
+    /// Bytes at global offset >= this silently vanish.
+    tear_at: Option<u64>,
+    /// Max bytes accepted per `write` call.
+    short_cap: Option<usize>,
+    /// Global byte offset whose lowest bit gets flipped.
+    flip_at: Option<u64>,
+}
+
+impl<W: Write> FaultyWriter<W> {
+    /// Wraps `inner` with no faults armed.
+    pub fn new(inner: W) -> Self {
+        FaultyWriter {
+            inner,
+            written: 0,
+            tear_at: None,
+            short_cap: None,
+            flip_at: None,
+        }
+    }
+
+    /// Arms a torn write: everything from global byte offset `at` on is
+    /// dropped while reported as written.
+    pub fn tear_at(mut self, at: u64) -> Self {
+        self.tear_at = Some(at);
+        self
+    }
+
+    /// Arms short writes: each `write` call accepts at most `cap` bytes.
+    pub fn short_writes(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "short-write cap must be positive");
+        self.short_cap = Some(cap);
+        self
+    }
+
+    /// Arms a single bit flip at global byte offset `at`.
+    pub fn flip_bit_at(mut self, at: u64) -> Self {
+        self.flip_at = Some(at);
+        self
+    }
+
+    /// Total bytes the *caller* believes were written (faults included).
+    pub fn bytes_accepted(&self) -> u64 {
+        self.written
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let take = self.short_cap.map_or(buf.len(), |c| buf.len().min(c));
+        let buf = &buf[..take];
+        // How much of this call lies before the tear point?
+        let survive = match self.tear_at {
+            Some(t) if self.written >= t => 0,
+            Some(t) => ((t - self.written) as usize).min(buf.len()),
+            None => buf.len(),
+        };
+        if survive > 0 {
+            match self.flip_at {
+                Some(f) if (self.written..self.written + survive as u64).contains(&f) => {
+                    let mut corrupted = buf[..survive].to_vec();
+                    corrupted[(f - self.written) as usize] ^= 1;
+                    self.inner.write_all(&corrupted)?;
+                }
+                _ => self.inner.write_all(&buf[..survive])?,
+            }
+        }
+        // Torn bytes are *accepted* (the caller sees success) but never
+        // reach the inner writer — that is the crash.
+        self.written += take as u64;
+        Ok(take)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_storage_crash_respects_durable_floor() {
+        let s = MemStorage::new();
+        s.append("a", b"hello").unwrap();
+        s.sync("a").unwrap();
+        s.append("a", b"world").unwrap();
+        s.append("b", b"xyz").unwrap();
+        assert_eq!(s.total_appended(), 13);
+        assert_eq!(s.durable_bytes(), 5);
+
+        // Harshest crash: only the fsynced prefix of `a` survives.
+        let c = s.crash_durable_only();
+        assert_eq!(c.read("a").unwrap(), b"hello");
+        assert_eq!(c.read("b").unwrap(), b"");
+
+        // Keep 8 appended bytes: hello + wor, nothing of b.
+        let c = s.crash(8);
+        assert_eq!(c.read("a").unwrap(), b"hellowor");
+        assert_eq!(c.read("b").unwrap(), b"");
+
+        // Keep everything.
+        let c = s.crash(usize::MAX);
+        assert_eq!(c.read("a").unwrap(), b"helloworld");
+        assert_eq!(c.read("b").unwrap(), b"xyz");
+    }
+
+    #[test]
+    fn mem_storage_basic_ops() {
+        let s = MemStorage::new();
+        s.append("f", b"abc").unwrap();
+        assert_eq!(s.list().unwrap(), vec!["f".to_string()]);
+        assert!(s.read("missing").is_err());
+        s.remove("f").unwrap();
+        assert!(s.list().unwrap().is_empty());
+        s.remove("f").unwrap(); // idempotent
+    }
+
+    #[test]
+    fn faulty_writer_tears_shortens_and_flips() {
+        // Tear at byte 4: caller "writes" 10 bytes, disk holds 4.
+        let mut w = FaultyWriter::new(Vec::new()).tear_at(4);
+        w.write_all(b"0123456789").unwrap();
+        assert_eq!(w.bytes_accepted(), 10);
+        assert_eq!(w.into_inner(), b"0123");
+
+        // Short writes: each call lands at most 3 bytes; write_all loops.
+        let mut w = FaultyWriter::new(Vec::new()).short_writes(3);
+        assert_eq!(w.write(b"abcdef").unwrap(), 3);
+        w.write_all(b"def").unwrap();
+        assert_eq!(w.into_inner(), b"abcdef");
+
+        // Bit flip at offset 1.
+        let mut w = FaultyWriter::new(Vec::new()).flip_bit_at(1);
+        w.write_all(&[0u8, 0, 0]).unwrap();
+        assert_eq!(w.into_inner(), vec![0u8, 1, 0]);
+    }
+
+    #[test]
+    fn fs_storage_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("quit-dur-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = FsStorage::open(&dir).unwrap();
+        s.append("wal-1.log", b"abc").unwrap();
+        s.append("wal-1.log", b"def").unwrap();
+        s.sync("wal-1.log").unwrap();
+        assert_eq!(s.read("wal-1.log").unwrap(), b"abcdef");
+        assert_eq!(s.list().unwrap(), vec!["wal-1.log".to_string()]);
+        s.remove("wal-1.log").unwrap();
+        s.remove("wal-1.log").unwrap(); // idempotent
+        assert!(s.list().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,157 @@
+//! Corrupted-tail recovery: every malformed WAL ending a crash can
+//! plausibly leave behind must recover the clean prefix — and never panic.
+//!
+//! Each case fabricates a storage image (valid segments produced by the
+//! real WAL, then surgically damaged and re-installed byte-for-byte) and
+//! asserts recovery lands on exactly the records before the damage.
+
+#![cfg(not(feature = "inject-wal-bug"))]
+
+use quit_core::{FastPathMode, SortedIndex, TreeConfig};
+use quit_durability::{
+    bptree_builder, DurabilityConfig, Durable, MemStorage, RecoveryReport, Storage,
+};
+use std::sync::Arc;
+
+fn builder() -> impl FnOnce(Vec<(u64, u64)>) -> quit_core::BpTree<u64, u64> {
+    bptree_builder(FastPathMode::Pole, TreeConfig::small(16))
+}
+
+fn open(storage: Arc<MemStorage>) -> (Durable<quit_core::BpTree<u64, u64>>, RecoveryReport) {
+    Durable::open(
+        storage as Arc<dyn Storage>,
+        DurabilityConfig::group_commit(),
+        builder(),
+    )
+    .expect("recovery must not fail on corrupt tails")
+}
+
+/// A storage image holding `n` committed inserts `(k, k * 10)` in a single
+/// segment, returned with that segment's name and raw bytes.
+fn one_segment_image(n: u64) -> (Arc<MemStorage>, String, Vec<u8>) {
+    let storage = Arc::new(MemStorage::new());
+    let (mut d, _) = open(storage.clone());
+    for k in 0..n {
+        d.insert(k, k * 10);
+    }
+    drop(d);
+    let mut segments: Vec<String> = storage
+        .list()
+        .unwrap()
+        .into_iter()
+        .filter(|f| f.starts_with("wal-"))
+        .collect();
+    assert_eq!(segments.len(), 1, "fits one segment: {segments:?}");
+    let name = segments.pop().unwrap();
+    let bytes = storage.read(&name).unwrap();
+    (storage, name, bytes)
+}
+
+/// Re-installs `bytes` as the only copy of `name` on a fresh store.
+fn image_with(name: &str, bytes: Vec<u8>) -> Arc<MemStorage> {
+    let storage = Arc::new(MemStorage::new());
+    storage.install(name, bytes);
+    storage
+}
+
+/// Recovery with assertions shared by every damaged-tail case: the first
+/// `intact` records survive, nothing else appears, and the report admits
+/// the tear.
+fn assert_recovers_prefix(storage: Arc<MemStorage>, intact: u64, torn: bool) {
+    let (mut d, report) = open(storage);
+    assert_eq!(report.recovered_lsn, intact);
+    assert_eq!(report.torn_tail, torn);
+    assert_eq!(d.len() as u64, intact);
+    for k in 0..intact {
+        assert_eq!(d.get(k), Some(k * 10), "record {k} must survive");
+    }
+    d.inner().check_invariants().unwrap();
+}
+
+#[test]
+fn truncated_length_word_recovers_prefix() {
+    let (_, name, bytes) = one_segment_image(20);
+    // Chop the last frame down to 3 bytes: not even a complete length
+    // word. The 19 whole frames before it must replay. (All 20 frames are
+    // u64/u64 inserts, so the per-frame size falls out of the division.)
+    let frame = (bytes.len() - 34) / 20;
+    let cut = 34 + 19 * frame + 3;
+    assert_recovers_prefix(image_with(&name, bytes[..cut].to_vec()), 19, true);
+}
+
+#[test]
+fn bad_crc_stops_replay_cleanly() {
+    let (_, name, mut bytes) = one_segment_image(20);
+    // Flip one payload bit in the 16th frame: frames 1..=15 replay, the
+    // corrupt one and everything after it do not.
+    let frame = (bytes.len() - 34) / 20;
+    bytes[34 + 15 * frame + 12] ^= 0x40;
+    assert_recovers_prefix(image_with(&name, bytes), 15, true);
+}
+
+#[test]
+fn torn_final_record_recovers_prefix() {
+    let (_, name, bytes) = one_segment_image(20);
+    // Keep the final frame's header and half its payload — the torn-write
+    // shape an 8-frame-aligned disk leaves behind.
+    let cut = bytes.len() - 9;
+    assert_recovers_prefix(image_with(&name, bytes[..cut].to_vec()), 19, true);
+}
+
+#[test]
+fn empty_and_header_only_segments_recover_empty() {
+    // A zero-byte segment file (crash between create and header write).
+    let (d, report) = open(image_with("wal-00000000-00000000.log", Vec::new()));
+    assert_eq!(report.recovered_lsn, 0);
+    assert!(d.is_empty());
+    drop(d);
+
+    // A header-only segment (crash right after rotation) is valid and
+    // holds zero records — not a tear.
+    let (_, name, bytes) = one_segment_image(5);
+    let storage = image_with(&name, bytes[..34].to_vec());
+    let (d, report) = open(storage);
+    assert_eq!(report.recovered_lsn, 0);
+    assert!(!report.torn_tail);
+    assert!(d.is_empty());
+}
+
+#[test]
+fn garbage_header_is_skipped_not_fatal() {
+    let storage = image_with("wal-00000000-00000000.log", b"not a wal segment".to_vec());
+    let (d, report) = open(storage);
+    assert_eq!(report.recovered_lsn, 0);
+    assert!(d.is_empty());
+}
+
+#[test]
+fn stale_previous_generation_segment_is_skipped() {
+    // Build a store where a checkpoint advanced the generation but pruning
+    // is off, leaving the superseded generation-0 segments in place.
+    let storage = Arc::new(MemStorage::new());
+    let config = DurabilityConfig::group_commit().with_prune_on_checkpoint(false);
+    let (mut d, _) = Durable::open(storage.clone() as Arc<dyn Storage>, config, builder()).unwrap();
+    for k in 0..50u64 {
+        d.insert(k, k * 10);
+    }
+    d.checkpoint::<u64, u64>().unwrap();
+    for k in 50..60u64 {
+        d.insert(k, k * 10);
+    }
+    drop(d);
+    let files = storage.list().unwrap();
+    assert!(
+        files.iter().any(|f| f.starts_with("wal-00000000")),
+        "stale generation-0 segment retained: {files:?}"
+    );
+
+    let crashed = Arc::new(storage.crash_durable_only());
+    let (mut d, report) = open(crashed);
+    assert_eq!(report.snapshot_entries, 50);
+    assert!(report.stale_segments > 0, "{report:?}");
+    assert_eq!(report.recovered_lsn, 60);
+    assert_eq!(d.len(), 60, "stale records must not double-apply");
+    for k in 0..60u64 {
+        assert_eq!(d.get(k), Some(k * 10));
+    }
+}

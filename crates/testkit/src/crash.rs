@@ -1,0 +1,551 @@
+//! Crash-recovery differential mode.
+//!
+//! The single-threaded driver ([`replay_crash_ops`]) runs a generated
+//! workload through `Durable<BpTree>` on a [`MemStorage`] whose crash
+//! model is an arbitrary byte prefix of the global append order (never
+//! less than what fsync promised). It mirrors every logged mutation into a
+//! shadow log, then "crashes" at a set of byte cuts, recovers each crash
+//! image, and asserts **prefix consistency**: the recovered tree must
+//! exactly equal the model replayed to the recovered LSN, the recovered
+//! LSN must cover the last explicit durability point (fsync promises
+//! survive any cut), and the full, un-torn image must recover *every*
+//! logged record — the check that catches framing bugs like the
+//! `inject-wal-bug` mutation.
+//!
+//! The concurrent driver ([`replay_crash_concurrent`]) puts N writers
+//! through `Durable<ConcurrentTree>` group commit, captures a live crash
+//! image mid-run (after recording each writer's acked floor), and asserts
+//! per-writer prefix consistency: every recovered partition is a
+//! contiguous prefix of that writer's insertion order, at least as long as
+//! its acked floor, with exact value tags.
+
+use crate::oracle::{Divergence, Model};
+use crate::workload::Op;
+use quit_concurrent::ConcConfig;
+use quit_core::{FastPathMode, SortedIndex, TreeConfig};
+use quit_durability::{
+    bptree_builder, concurrent_builder, DurabilityConfig, Durable, MemStorage, Storage,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Deterministic stream for crash-point and commit-point selection
+/// (splitmix64; the workload itself has its own seeded generator).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One logged mutation in the shadow log (the model-side mirror of the
+/// WAL record stream, in LSN order).
+#[derive(Clone, Copy)]
+enum Logged {
+    Insert(u64, u64),
+    Delete(u64),
+}
+
+/// Knobs for one crash-recovery differential run.
+#[derive(Clone, Debug)]
+pub struct CrashSpec {
+    /// Random crash points per run (cuts at 0 and at the full image are
+    /// always tested in addition).
+    pub cuts: usize,
+    /// Leaf capacity of the durable tree (small forces splits).
+    pub leaf_capacity: usize,
+    /// An explicit `commit_all` durability point fires at roughly one in
+    /// this many ops (0 disables them; the final-image check still runs).
+    pub commit_every: usize,
+    /// Checkpoint (sorted snapshot + WAL rotation) after this op index,
+    /// exercising `bulk_load(snapshot) + replay(tail)` recovery.
+    pub checkpoint_at: Option<usize>,
+    /// Seed for crash-point/commit-point selection.
+    pub seed: u64,
+}
+
+impl Default for CrashSpec {
+    fn default() -> Self {
+        CrashSpec {
+            cuts: 16,
+            leaf_capacity: 8,
+            commit_every: 48,
+            checkpoint_at: None,
+            seed: 0xC4A5_4000,
+        }
+    }
+}
+
+/// Totals from a completed (divergence-free) crash fuzz.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CrashReport {
+    /// Workload ops driven through the durable tree.
+    pub ops: usize,
+    /// Mutation records written to the WAL (the shadow-log length).
+    pub records: usize,
+    /// Crash points recovered and verified (including 0 and full).
+    pub cuts_tested: usize,
+    /// Crash points whose image ended in a torn frame.
+    pub torn_cuts: usize,
+    /// LSN covered by the last explicit durability point.
+    pub floor_lsn: u64,
+    /// Smallest / largest LSN any crash point recovered to.
+    pub min_recovered: u64,
+    /// See [`min_recovered`](Self::min_recovered).
+    pub max_recovered: u64,
+}
+
+fn io_div(stage: &'static str, e: std::io::Error) -> Divergence {
+    Divergence {
+        family: "Durable<BpTree>",
+        op_index: usize::MAX,
+        detail: format!("{stage}: io error: {e}"),
+    }
+}
+
+fn crash_config() -> DurabilityConfig {
+    // Tiny buffer and segments: flushes and rotations every few records,
+    // so crash points land in every structurally interesting place.
+    DurabilityConfig::buffered()
+        .with_wal_buffer_bytes(256)
+        .with_segment_bytes(4 << 10)
+        .with_snapshot_chunk(64)
+}
+
+/// Runs `ops` through `Durable<BpTree>`, then crash-fuzzes the resulting
+/// storage image at `spec.cuts` random byte cuts (plus the empty and full
+/// images). Returns the first prefix-consistency violation as a
+/// [`Divergence`], which makes this directly shrinkable by proptest.
+pub fn replay_crash_ops(ops: &[Op], spec: &CrashSpec) -> Result<CrashReport, Divergence> {
+    let storage = Arc::new(MemStorage::new());
+    let tree_config = TreeConfig::small(spec.leaf_capacity);
+    let (mut durable, _) = Durable::open(
+        storage.clone() as Arc<dyn Storage>,
+        crash_config(),
+        bptree_builder::<u64, u64>(FastPathMode::Pole, tree_config.clone()),
+    )
+    .map_err(|e| io_div("open", e))?;
+
+    let mut shadow: Vec<Logged> = Vec::new();
+    let mut rng = spec.seed ^ 0xD15C_0000;
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Insert(k, v) => {
+                durable.insert(*k, *v);
+                shadow.push(Logged::Insert(*k, *v));
+            }
+            Op::InsertBatch(entries) | Op::BulkLoad(entries) => {
+                durable.insert_batch(entries);
+                shadow.extend(entries.iter().map(|&(k, v)| Logged::Insert(k, v)));
+            }
+            Op::Delete(k) => {
+                // The wrapper logs every delete, hit or miss.
+                durable.delete(*k);
+                shadow.push(Logged::Delete(*k));
+            }
+            Op::Get(k) => {
+                let _ = durable.get(*k);
+            }
+            Op::Range(s, e) => {
+                let _ = SortedIndex::range(&mut durable, *s..*e).count();
+            }
+            Op::ResetMetrics => SortedIndex::<u64, u64>::reset_metrics(&durable),
+        }
+        if spec.checkpoint_at == Some(i) {
+            durable
+                .checkpoint::<u64, u64>()
+                .map_err(|e| io_div("checkpoint", e))?;
+        }
+        if spec.commit_every > 0 && splitmix(&mut rng).is_multiple_of(spec.commit_every as u64) {
+            durable.commit_all().map_err(|e| io_div("commit_all", e))?;
+        }
+    }
+    // Push everything still buffered to storage *without* an fsync: the
+    // full image must then recover every logged record, while arbitrary
+    // cuts may still tear mid-frame.
+    durable.flush().map_err(|e| io_div("flush", e))?;
+    let floor_lsn = durable.wal().durable_lsn();
+    drop(durable);
+
+    let total = storage.total_appended();
+    let mut report = CrashReport {
+        ops: ops.len(),
+        records: shadow.len(),
+        floor_lsn,
+        min_recovered: u64::MAX,
+        ..CrashReport::default()
+    };
+
+    // Rotation fsyncs every completed segment, so only the suffix past the
+    // durable watermark can tear; half the cuts are biased into it (a
+    // uniform draw over megabytes of fsynced history would almost never
+    // land there).
+    let durable = storage.durable_bytes();
+    let mut cuts: Vec<usize> = vec![0, total];
+    for i in 0..spec.cuts {
+        let cut = if i % 2 == 0 {
+            (splitmix(&mut rng) % (total as u64 + 1)) as usize
+        } else {
+            durable + (splitmix(&mut rng) % ((total - durable) as u64 + 1)) as usize
+        };
+        cuts.push(cut);
+    }
+    for &cut in &cuts {
+        verify_cut(&storage, cut, total, &shadow, floor_lsn, spec, &mut report)?;
+    }
+    Ok(report)
+}
+
+/// Recovers the crash image at byte `cut` and asserts prefix consistency.
+fn verify_cut(
+    storage: &MemStorage,
+    cut: usize,
+    total: usize,
+    shadow: &[Logged],
+    floor_lsn: u64,
+    spec: &CrashSpec,
+    report: &mut CrashReport,
+) -> Result<(), Divergence> {
+    let diverge = |detail: String| Divergence {
+        family: "Durable<BpTree>",
+        op_index: cut,
+        detail,
+    };
+    let crashed = Arc::new(storage.crash(cut));
+    let (mut recovered, rec) = Durable::open(
+        crashed as Arc<dyn Storage>,
+        crash_config(),
+        bptree_builder::<u64, u64>(FastPathMode::Pole, TreeConfig::small(spec.leaf_capacity)),
+    )
+    .map_err(|e| io_div("recover", e))?;
+
+    let r = rec.recovered_lsn;
+    if r < floor_lsn {
+        return Err(diverge(format!(
+            "durability violation: recovered LSN {r} < fsync floor {floor_lsn}"
+        )));
+    }
+    if r as usize > shadow.len() {
+        return Err(diverge(format!(
+            "recovered LSN {r} beyond the {} records ever logged",
+            shadow.len()
+        )));
+    }
+    if cut == total {
+        if r as usize != shadow.len() {
+            return Err(diverge(format!(
+                "full image must recover all {} records, got LSN {r} (torn={})",
+                shadow.len(),
+                rec.torn_tail,
+            )));
+        }
+        if rec.torn_tail {
+            return Err(diverge("full image reported a torn tail".to_string()));
+        }
+    }
+
+    // Replay the shadow log to R and demand exact equality: length, the
+    // full key sequence (multiplicity included), and values wherever a
+    // single untainted instance makes them well-defined.
+    let mut model = Model::default();
+    for logged in &shadow[..r as usize] {
+        match *logged {
+            Logged::Insert(k, v) => model.insert(k, v),
+            Logged::Delete(k) => {
+                model.delete(k);
+            }
+        }
+    }
+    if recovered.len() != model.len {
+        return Err(diverge(format!(
+            "recovered len {} vs model {} at LSN {r}",
+            recovered.len(),
+            model.len
+        )));
+    }
+    let want: Vec<u64> = model.range_keys(0, u64::MAX);
+    let got: Vec<u64> = SortedIndex::range(&mut recovered, ..)
+        .map(|(k, _)| k)
+        .collect();
+    if got != want {
+        let at = got.iter().zip(&want).position(|(a, b)| a != b);
+        return Err(diverge(format!(
+            "recovered keys diverge at LSN {r}: {} keys vs model {} (first mismatch {at:?})",
+            got.len(),
+            want.len()
+        )));
+    }
+    for (k, values) in &model.map {
+        if values.len() == 1 && !model.tainted.contains(k) {
+            let have = recovered.get(*k);
+            if have != Some(values[0]) {
+                return Err(diverge(format!(
+                    "recovered value for key {k}: {have:?} vs model {} at LSN {r}",
+                    values[0]
+                )));
+            }
+        }
+    }
+    recovered
+        .inner()
+        .check_invariants()
+        .map_err(|e| diverge(format!("recovered tree invariants: {e}")))?;
+
+    report.cuts_tested += 1;
+    report.torn_cuts += rec.torn_tail as usize;
+    report.min_recovered = report.min_recovered.min(r);
+    report.max_recovered = report.max_recovered.max(r);
+    Ok(())
+}
+
+/// [`replay_crash_ops`] with the workload generated from `workload`
+/// (convenience for fixed-seed soaks).
+pub fn replay_crash(
+    workload: &crate::workload::WorkloadSpec,
+    spec: &CrashSpec,
+) -> Result<CrashReport, Divergence> {
+    replay_crash_ops(&workload.generate(), spec)
+}
+
+/// Knobs for the concurrent crash differential: N writers through group
+/// commit, a live mid-run crash image, per-writer prefix consistency.
+#[derive(Clone, Debug)]
+pub struct ConcCrashSpec {
+    /// Writer threads (each owns the key partition `w << 32 ..`).
+    pub writers: usize,
+    /// Inserts per writer.
+    pub ops_per_writer: usize,
+    /// Leaf capacity for the concurrent tree.
+    pub leaf_capacity: usize,
+    /// Random crash cuts fuzzed over the captured mid-run image.
+    pub cuts: usize,
+    /// Seed for cut selection.
+    pub seed: u64,
+}
+
+impl Default for ConcCrashSpec {
+    fn default() -> Self {
+        ConcCrashSpec {
+            writers: 4,
+            ops_per_writer: 400,
+            leaf_capacity: 16,
+            cuts: 12,
+            seed: 0xC4A5_4C0C,
+        }
+    }
+}
+
+/// Totals from a divergence-free concurrent crash differential.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConcCrashReport {
+    /// Total acked inserts across writers.
+    pub writer_ops: usize,
+    /// Sum of the per-writer acked floors at capture time.
+    pub captured_floor: usize,
+    /// Crash cuts recovered and verified over the mid-run image.
+    pub cuts_tested: usize,
+    /// Entries in the tree recovered from the final (post-delete) image.
+    pub final_len: usize,
+}
+
+/// Runs N writers through `Durable<ConcurrentTree>` group commit,
+/// captures a crash image mid-run, and asserts per-writer prefix
+/// consistency at `spec.cuts` random cuts (plus the durable-only and full
+/// images); then deletes a slice through the shared API, crashes at the
+/// durable floor, and asserts the deletes survived recovery.
+pub fn replay_crash_concurrent(spec: &ConcCrashSpec) -> Result<ConcCrashReport, Divergence> {
+    let diverge = |detail: String| Divergence {
+        family: "Durable<ConcurrentTree>",
+        op_index: usize::MAX,
+        detail,
+    };
+    let storage = Arc::new(MemStorage::new());
+    let (durable, _) = Durable::open(
+        storage.clone() as Arc<dyn Storage>,
+        DurabilityConfig::group_commit().with_segment_bytes(16 << 10),
+        concurrent_builder::<u64, u64>(ConcConfig::small(spec.leaf_capacity)),
+    )
+    .map_err(|e| io_div("open", e))?;
+    let durable = Arc::new(durable);
+
+    let acked: Vec<AtomicU64> = (0..spec.writers).map(|_| AtomicU64::new(0)).collect();
+    let acked = Arc::new(acked);
+    let half = (spec.writers * spec.ops_per_writer / 2) as u64;
+    let mut captured: Option<(Vec<u64>, MemStorage)> = None;
+
+    std::thread::scope(|scope| {
+        for w in 0..spec.writers {
+            let durable = durable.clone();
+            let acked = acked.clone();
+            scope.spawn(move || {
+                let base = (w as u64) << 32;
+                for i in 0..spec.ops_per_writer as u64 {
+                    // Group commit: this returns only once the record's
+                    // group fsync completed — the insert is *acked*.
+                    durable.insert_shared(base + i, ((w as u64) << 48) | i);
+                    acked[w].store(i + 1, Ordering::Release);
+                }
+            });
+        }
+        // Capture thread (the main thread): once half the target volume
+        // is acked, record each writer's floor *first*, then snapshot the
+        // storage. Every op acked before its floor read is durable in the
+        // snapshot; later ops may or may not appear — exactly a crash.
+        loop {
+            let total: u64 = acked.iter().map(|a| a.load(Ordering::Acquire)).sum();
+            if total >= half {
+                let floors: Vec<u64> = acked.iter().map(|a| a.load(Ordering::Acquire)).collect();
+                captured = Some((floors, storage.crash(usize::MAX)));
+                break;
+            }
+            std::thread::yield_now();
+        }
+    });
+
+    let (floors, base) = captured.expect("capture loop always runs");
+    let mut report = ConcCrashReport {
+        writer_ops: spec.writers * spec.ops_per_writer,
+        captured_floor: floors.iter().sum::<u64>() as usize,
+        ..ConcCrashReport::default()
+    };
+
+    // Fuzz cuts over the mid-run image: durable-only, full, random, and
+    // (half of them) biased into the non-durable suffix where frames can
+    // actually tear.
+    let mut rng = spec.seed;
+    let total = base.total_appended();
+    let synced = base.durable_bytes();
+    let mut cuts = vec![0, total];
+    for i in 0..spec.cuts {
+        let cut = if i % 2 == 0 {
+            (splitmix(&mut rng) % (total as u64 + 1)) as usize
+        } else {
+            synced + (splitmix(&mut rng) % ((total - synced) as u64 + 1)) as usize
+        };
+        cuts.push(cut);
+    }
+    for &cut in &cuts {
+        let crashed = Arc::new(base.crash(cut));
+        let (recovered, _) = Durable::open(
+            crashed as Arc<dyn Storage>,
+            DurabilityConfig::group_commit(),
+            concurrent_builder::<u64, u64>(ConcConfig::small(spec.leaf_capacity)),
+        )
+        .map_err(|e| io_div("recover", e))?;
+        let mut per_writer: Vec<Vec<(u64, u64)>> = vec![Vec::new(); spec.writers];
+        for (k, v) in recovered.tree().range(..) {
+            let w = (k >> 32) as usize;
+            if w >= spec.writers {
+                return Err(diverge(format!("cut {cut}: alien key {k} recovered")));
+            }
+            per_writer[w].push((k & 0xFFFF_FFFF, v));
+        }
+        for (w, entries) in per_writer.iter().enumerate() {
+            let n = entries.len() as u64;
+            if n < floors[w] {
+                return Err(diverge(format!(
+                    "cut {cut}: writer {w} recovered {n} inserts, acked floor {}",
+                    floors[w]
+                )));
+            }
+            for (i, &(seq, v)) in entries.iter().enumerate() {
+                let want = ((w as u64) << 48) | i as u64;
+                if seq != i as u64 || v != want {
+                    return Err(diverge(format!(
+                        "cut {cut}: writer {w} not a contiguous prefix at #{i}: \
+                         key seq {seq}, value {v:#x} (want {want:#x})"
+                    )));
+                }
+            }
+        }
+        recovered
+            .tree()
+            .check_consistency()
+            .map_err(|e| diverge(format!("cut {cut}: recovered consistency: {e}")))?;
+        report.cuts_tested += 1;
+    }
+
+    // Deletes through the shared API, then the harshest legal crash: the
+    // acked deletes must survive recovery.
+    let victims: Vec<u64> = (0..spec.writers as u64)
+        .flat_map(|w| (0..8.min(spec.ops_per_writer as u64)).map(move |i| (w << 32) + i))
+        .collect();
+    for &k in &victims {
+        durable.delete_shared(k);
+    }
+    let expected_len = durable.tree().len();
+    let crashed = Arc::new(storage.crash_durable_only());
+    drop(durable);
+    let (recovered, _) = Durable::open(
+        crashed as Arc<dyn Storage>,
+        DurabilityConfig::group_commit(),
+        concurrent_builder::<u64, u64>(ConcConfig::small(spec.leaf_capacity)),
+    )
+    .map_err(|e| io_div("final recover", e))?;
+    if recovered.tree().len() != expected_len {
+        return Err(diverge(format!(
+            "final image: recovered len {} vs live len {expected_len}",
+            recovered.tree().len()
+        )));
+    }
+    for &k in &victims {
+        if recovered.tree().get(k).is_some() {
+            return Err(diverge(format!("final image: deleted key {k} came back")));
+        }
+    }
+    report.final_len = recovered.tree().len();
+    Ok(report)
+}
+
+#[cfg(all(
+    test,
+    not(feature = "inject-wal-bug"),
+    not(feature = "inject-split-bug")
+))]
+mod tests {
+    use super::*;
+    use crate::workload::{OpMix, WorkloadSpec};
+
+    #[test]
+    fn tiny_workload_crash_fuzz_is_consistent() {
+        let workload = WorkloadSpec {
+            ops: 300,
+            seed: 0xFEED,
+            mix: OpMix::mixed(),
+            ..WorkloadSpec::default()
+        };
+        let report =
+            replay_crash(&workload, &CrashSpec::default()).unwrap_or_else(|d| panic!("{d}"));
+        assert_eq!(report.ops, 300);
+        assert!(report.records > 0);
+        assert_eq!(report.cuts_tested, 2 + CrashSpec::default().cuts);
+        assert_eq!(report.max_recovered, report.records as u64);
+        // Rotation fsyncs can make more durable than the promised floor,
+        // never less.
+        assert!(report.min_recovered >= report.floor_lsn);
+    }
+
+    #[test]
+    fn checkpointed_workload_recovers_snapshot_plus_tail() {
+        let workload = WorkloadSpec {
+            ops: 400,
+            seed: 0xFACE,
+            ..WorkloadSpec::default()
+        };
+        let spec = CrashSpec {
+            checkpoint_at: Some(200),
+            ..CrashSpec::default()
+        };
+        replay_crash(&workload, &spec).unwrap_or_else(|d| panic!("{d}"));
+    }
+
+    #[test]
+    fn concurrent_crash_prefix_consistency() {
+        let report =
+            replay_crash_concurrent(&ConcCrashSpec::default()).unwrap_or_else(|d| panic!("{d}"));
+        assert!(report.captured_floor > 0);
+        assert!(report.cuts_tested >= 2);
+        assert!(report.final_len > 0);
+    }
+}

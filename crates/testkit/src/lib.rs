@@ -20,6 +20,13 @@
 //! scan ordering, structural re-checks after every join, and a final
 //! merged-model comparison (see [`ConcSpec`]).
 //!
+//! Durability gets the same treatment: the crash-recovery differential
+//! mode ([`replay_crash`], [`replay_crash_concurrent`]) drives workloads
+//! through `quit-durability`'s `Durable` wrapper on an in-memory storage
+//! whose crash model is an arbitrary byte prefix of the append order, then
+//! recovers at fuzzed crash points and asserts prefix consistency against
+//! the model replayed to the recovered LSN (see [`CrashSpec`]).
+//!
 //! The harness proves it can catch real bugs via a mutation smoke check:
 //! building with `--features inject-split-bug` enables a deliberately
 //! wrong Fig 7a split bound in `quit-core`, and `tests/mutation_smoke.rs`
@@ -33,10 +40,15 @@
 #![deny(unsafe_code)]
 
 mod concurrent;
+mod crash;
 mod oracle;
 mod workload;
 
 pub use concurrent::{conc_base_seed, replay_concurrent, ConcReport, ConcSpec};
+pub use crash::{
+    replay_crash, replay_crash_concurrent, replay_crash_ops, ConcCrashReport, ConcCrashSpec,
+    CrashReport, CrashSpec,
+};
 pub use oracle::{replay, replay_guarded, Divergence, OracleConfig, ReplayReport};
 pub use workload::{Op, OpMix, WorkloadSpec, WorkloadStrategy, MAX_BATCH, MAX_BULK};
 

@@ -6,15 +6,19 @@
 //! * [`quit_core`] — the Quick Insertion Tree and its B+-tree platform
 //!   (classical / tail / ℓiℓ / poℓe variants, Table 1 metadata, IKR).
 //! * [`quit_concurrent`] — the lock-crabbing concurrent tree (§4.5).
+//! * [`quit_durability`] — segmented WAL with group commit, sorted
+//!   snapshots, and crash recovery for any `SortedIndex`.
 //! * [`sware`] — the SWARE SA-B+-tree baseline.
 //! * [`bods`] — K–L-sortedness workload generation and measurement.
 //! * [`quit_testkit`] — the differential fuzzing & shrinking oracle
-//!   (workload generation + model replay across all families).
+//!   (workload generation + model replay across all families, plus the
+//!   crash-recovery differential mode).
 
 #![warn(missing_docs)]
 
 pub use bods;
 pub use quit_concurrent;
 pub use quit_core;
+pub use quit_durability;
 pub use quit_testkit;
 pub use sware;
