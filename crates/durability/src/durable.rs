@@ -7,6 +7,21 @@
 //! recovery replays that prefix and lands on exactly the state covered by
 //! the last durable group. Lookups and scans pass straight through.
 //!
+//! For the `&mut self` [`SortedIndex`] path that invariant is free. For
+//! the shared (`&self`) path on [`Durable<ConcurrentTree>`], two
+//! concurrent writers hitting the *same key* could otherwise log in one
+//! order and apply in the other, making the pre-crash state and the
+//! replayed state disagree on that key. The wrapper therefore holds a
+//! per-key **stripe lock** across LSN assignment *and* tree application:
+//! log order equals apply order for every conflicting key (ops on
+//! distinct keys commute, so their relative order is irrelevant). The
+//! group fsync is awaited *after* the stripe is released, so same-stripe
+//! writers never serialize on the device — only on the (cheap) in-memory
+//! append+apply. Consequence: at `GroupCommit`, a mutation becomes
+//! visible to concurrent readers when it is applied, slightly before its
+//! group fsync completes; durability is only promised once the call
+//! returns.
+//!
 //! Recovery composes the two sortedness fast paths this workspace is
 //! built around: the snapshot is key-ordered, so it `bulk_load`s in O(n)
 //! at the configured leaf fill; the WAL tail is append-mostly, so
@@ -22,8 +37,13 @@ use quit_concurrent::{ConcConfig, ConcurrentTree};
 use quit_core::{BpTree, FastPathMode, Key, SortedIndex, StatsSnapshot, TreeConfig};
 use std::io;
 use std::ops::RangeBounds;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Stripe count for the shared-path per-key ordering locks. Collisions
+/// between distinct keys only cost contention, never correctness, so a
+/// modest power of two suffices.
+const WRITE_STRIPES: usize = 64;
 
 /// How much durability each mutation buys before it returns.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -158,12 +178,21 @@ pub struct RecoveryReport {
 /// of [`Durable<ConcurrentTree>`]) are logged first, then applied. I/O
 /// errors on the log path panic — the trait has no error channel, and a
 /// WAL that can no longer write must not let callers believe their writes
-/// are durable. Use [`Durable::flush`]/[`Durable::commit_all`] for
-/// explicit durability points at the `Buffered` level.
+/// are durable. The WAL also *poisons* itself on any append/fsync
+/// failure, so concurrent writer threads that did not observe the
+/// original error fail (and panic) on their next mutation instead of
+/// acking records through a broken log. Use
+/// [`Durable::flush`]/[`Durable::commit_all`] for explicit durability
+/// points at the `Buffered` level.
 pub struct Durable<T> {
     inner: T,
     wal: Wal,
     config: DurabilityConfig,
+    /// Per-key ordering locks for the shared (`&self`) write path: a
+    /// key's stripe is held across LSN assignment and tree application,
+    /// so the WAL orders conflicting ops exactly as they applied (see
+    /// the module docs).
+    stripes: Box<[Mutex<()>]>,
 }
 
 impl<T> Durable<T> {
@@ -214,7 +243,16 @@ impl<T> Durable<T> {
             rejected_snapshots,
             elapsed,
         };
-        Ok((Durable { inner, wal, config }, report))
+        let stripes = (0..WRITE_STRIPES).map(|_| Mutex::new(())).collect();
+        Ok((
+            Durable {
+                inner,
+                wal,
+                config,
+                stripes,
+            },
+            report,
+        ))
     }
 
     /// The wrapped index (shared access — this is how readers reach a
@@ -259,19 +297,33 @@ impl<T> Durable<T> {
         self.wal.commit(self.wal.last_lsn())
     }
 
-    /// Logs `ops` according to the configured level. Panics on I/O error
-    /// (see the type-level docs).
-    fn log<K: WalCodec, V: WalCodec>(&self, ops: &[WalOp<K, V>]) {
+    /// Appends `ops` to the WAL without waiting for durability, returning
+    /// the LSN that [`ack`](Self::ack) must wait on (`None` unless the
+    /// level is `GroupCommit`). Panics on I/O error (see the type-level
+    /// docs).
+    fn log_nowait<K: WalCodec, V: WalCodec>(&self, ops: &[WalOp<K, V>]) -> Option<Lsn> {
         match self.config.level {
-            DurabilityLevel::Off => {}
+            DurabilityLevel::Off => None,
             DurabilityLevel::Buffered => {
                 self.wal.append(ops).expect("WAL append failed");
+                None
             }
-            DurabilityLevel::GroupCommit => {
-                let lsn = self.wal.append(ops).expect("WAL append failed");
-                self.wal.commit(lsn).expect("WAL fsync failed");
-            }
+            DurabilityLevel::GroupCommit => Some(self.wal.append(ops).expect("WAL append failed")),
         }
+    }
+
+    /// Blocks until the LSN returned by [`log_nowait`](Self::log_nowait)
+    /// is fsync-durable (no-op for `None`).
+    fn ack(&self, lsn: Option<Lsn>) {
+        if let Some(lsn) = lsn {
+            self.wal.commit(lsn).expect("WAL fsync failed");
+        }
+    }
+
+    /// Logs `ops` according to the configured level, waiting for
+    /// durability where the level demands it.
+    fn log<K: WalCodec, V: WalCodec>(&self, ops: &[WalOp<K, V>]) {
+        self.ack(self.log_nowait(ops));
     }
 
     /// Checkpoint: writes the index's full contents as a sorted snapshot,
@@ -362,18 +414,49 @@ where
     K: Key + WalCodec,
     V: Clone + WalCodec,
 {
+    /// The stripe ordering writes to `key`. Distinct keys may share a
+    /// stripe (harmless contention); equal keys always map to the same
+    /// stripe, which is all the ordering argument needs.
+    fn stripe(&self, key: K) -> &Mutex<()> {
+        // `to_ikr` is a pure function of the key, so equal keys hash
+        // alike — except f64's two zeros, which compare equal with
+        // different bit patterns; normalize before hashing.
+        let ikr = key.to_ikr();
+        let mut h = (if ikr == 0.0 { 0.0 } else { ikr }).to_bits();
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        &self.stripes[(h % self.stripes.len() as u64) as usize]
+    }
+
     /// Logged insert through `&self` — N threads call this concurrently;
     /// at `GroupCommit` their fsyncs batch through the group-commit
     /// leader while the tree insert itself rides the OLC write path.
+    ///
+    /// The key's stripe lock is held across LSN assignment and the tree
+    /// insert (log order ≡ apply order for conflicting keys) and released
+    /// before the group fsync is awaited.
     pub fn insert_shared(&self, key: K, value: V) {
-        self.log(&[WalOp::Insert(key, value.clone())]);
-        self.inner.insert(key, value);
+        let lsn = {
+            let _order = self.stripe(key).lock().unwrap();
+            let lsn = self.log_nowait(&[WalOp::Insert(key, value.clone())]);
+            self.inner.insert(key, value);
+            lsn
+        };
+        self.ack(lsn);
     }
 
-    /// Logged delete through `&self` (miss-deletes log a no-op record).
+    /// Logged delete through `&self` (miss-deletes log a no-op record),
+    /// with the same stripe-ordered log+apply as
+    /// [`insert_shared`](Self::insert_shared).
     pub fn delete_shared(&self, key: K) -> Option<V> {
-        self.log(&[WalOp::<K, V>::Delete(key)]);
-        self.inner.delete(key)
+        let (prev, lsn) = {
+            let _order = self.stripe(key).lock().unwrap();
+            let lsn = self.log_nowait(&[WalOp::<K, V>::Delete(key)]);
+            (self.inner.delete(key), lsn)
+        };
+        self.ack(lsn);
+        prev
     }
 
     /// The underlying concurrent tree, for `&self` reads (`get`, `range`).

@@ -17,7 +17,11 @@
 //! (§4.2), applied at the recovery boundary. Chunks are CRC-framed like WAL
 //! records, so a torn snapshot write is detected and the *whole file* is
 //! rejected (snapshots are all-or-nothing; the previous generation plus the
-//! un-pruned WAL still recovers everything).
+//! un-pruned WAL still recovers everything). On top of the CRC defence,
+//! snapshots are *published atomically*: written to `….qsnp.tmp`, synced,
+//! then durably renamed into place — so the final name only ever denotes a
+//! complete file, and pruning the old generation can never outrun the new
+//! snapshot's durability.
 
 use crate::frame::{crc32, WalCodec};
 use crate::storage::Storage;
@@ -42,6 +46,12 @@ pub(crate) fn parse_snap_name(name: &str) -> Option<u64> {
 /// Writes and fsyncs the generation-`generation` snapshot: `entries` (key
 /// order, duplicates adjacent) as of `lsn`, chunked `chunk_entries` at a
 /// time so torn writes are detected at chunk granularity.
+///
+/// The file is written under `snap-….qsnp.tmp`, synced, and only then
+/// renamed to its final name (a durable, atomic publish): a crash during
+/// the write leaves at worst a `.tmp` that recovery never reads and the
+/// next checkpoint prunes, and the prune that follows a checkpoint can
+/// never become durable ahead of the snapshot it relies on.
 pub(crate) fn write_snapshot<K: WalCodec, V: WalCodec>(
     storage: &dyn Storage,
     generation: u64,
@@ -50,6 +60,10 @@ pub(crate) fn write_snapshot<K: WalCodec, V: WalCodec>(
     chunk_entries: usize,
 ) -> io::Result<()> {
     let file = snap_name(generation);
+    let tmp = format!("{file}.tmp");
+    // A leftover tmp from an interrupted checkpoint must not be appended
+    // onto.
+    storage.remove(&tmp)?;
     let mut header = Vec::with_capacity(SNAP_HEADER);
     header.extend_from_slice(SNAP_MAGIC);
     header.extend_from_slice(&generation.to_le_bytes());
@@ -57,7 +71,7 @@ pub(crate) fn write_snapshot<K: WalCodec, V: WalCodec>(
     header.extend_from_slice(&(entries.len() as u64).to_le_bytes());
     let crc = crc32(&header);
     header.extend_from_slice(&crc.to_le_bytes());
-    storage.append(&file, &header)?;
+    storage.append(&tmp, &header)?;
 
     let chunk_entries = chunk_entries.max(1);
     let mut buf = Vec::with_capacity(8 + chunk_entries * (K::WIDTH + V::WIDTH));
@@ -72,9 +86,10 @@ pub(crate) fn write_snapshot<K: WalCodec, V: WalCodec>(
         let crc = crc32(&buf[8..]);
         buf[..4].copy_from_slice(&len.to_le_bytes());
         buf[4..8].copy_from_slice(&crc.to_le_bytes());
-        storage.append(&file, &buf)?;
+        storage.append(&tmp, &buf)?;
     }
-    storage.sync(&file)
+    storage.sync(&tmp)?;
+    storage.rename(&tmp, &file)
 }
 
 /// A decoded snapshot: `(generation, lsn, entries)`.
@@ -199,6 +214,28 @@ mod tests {
         assert_eq!((generation, lsn), (1, 100));
         assert_eq!(got, entries(10));
         assert_eq!(rejected, 1);
+    }
+
+    #[test]
+    fn interrupted_snapshot_leaves_only_tmp_and_is_ignored() {
+        let s = MemStorage::new();
+        write_snapshot(&s, 1, 100, &entries(10), 4).unwrap();
+        // An interrupted generation-2 write: the tmp file exists (even
+        // with a fully valid payload) but was never renamed into place.
+        let bytes = s.read(&snap_name(1)).unwrap();
+        s.install("snap-00000002.qsnp.tmp", bytes);
+
+        let ((generation, lsn, got), rejected) = load_best_snapshot::<u64, u64>(&s).unwrap();
+        assert_eq!((generation, lsn), (1, 100));
+        assert_eq!(got, entries(10));
+        assert_eq!(rejected, 0, "a tmp file is not even a candidate");
+
+        // The next checkpoint's write of generation 2 must replace the
+        // leftover tmp, not append onto it.
+        write_snapshot(&s, 2, 200, &entries(20), 4).unwrap();
+        let ((generation, _, got), _) = load_best_snapshot::<u64, u64>(&s).unwrap();
+        assert_eq!(generation, 2);
+        assert_eq!(got, entries(20));
     }
 
     #[test]

@@ -41,7 +41,16 @@ pub trait Storage: Send + Sync {
     fn list(&self) -> io::Result<Vec<String>>;
 
     /// Removes `file` (ok if already gone — recovery prunes idempotently).
+    /// The removal is durable before this returns.
     fn remove(&self, file: &str) -> io::Result<()>;
+
+    /// Atomically renames `from` onto `to` (replacing any existing `to`),
+    /// durably — after this returns, a crash shows `to` with `from`'s
+    /// contents, never a half-state. This is the publish step for
+    /// snapshot files: written under a temporary name, synced, then
+    /// renamed into place, so no crash can leave a partial file under a
+    /// name recovery trusts.
+    fn rename(&self, from: &str, to: &str) -> io::Result<()>;
 }
 
 #[derive(Clone, Default)]
@@ -187,11 +196,37 @@ impl Storage for MemStorage {
         inner.files.remove(file);
         Ok(())
     }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        let f = inner
+            .files
+            .remove(from)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, from.to_string()))?;
+        // Drop the replaced target's append history so crash accounting
+        // tracks only the surviving contents, then re-point the source's
+        // history at the new name. The rename itself is modelled as
+        // atomic and durable — the contract `FsStorage` buys with its
+        // directory fsync.
+        inner.order.retain(|(n, _)| n != to);
+        for entry in &mut inner.order {
+            if entry.0 == from {
+                entry.0 = to.to_string();
+            }
+        }
+        inner.files.insert(to.to_string(), f);
+        Ok(())
+    }
 }
 
 /// Real-file [`Storage`] rooted at a directory. Appends keep a cached
 /// `O_APPEND` handle per file; [`sync`](Storage::sync) maps to
-/// `fdatasync`.
+/// `fdatasync`. Directory mutations — creating a file, removing one,
+/// renaming one into place — are followed by an fsync of the directory
+/// itself: `fdatasync` on a file only covers its *contents*, and without
+/// the directory fsync a freshly created segment or snapshot (or a
+/// prune's unlinks) can reorder around it across a crash, losing
+/// committed records.
 pub struct FsStorage {
     dir: PathBuf,
     handles: Mutex<BTreeMap<String, File>>,
@@ -213,6 +248,12 @@ impl FsStorage {
         &self.dir
     }
 
+    /// Fsyncs the storage directory, making file creations, removals and
+    /// renames durable.
+    fn sync_dir(&self) -> io::Result<()> {
+        File::open(&self.dir)?.sync_all()
+    }
+
     fn with_handle<R>(
         &self,
         file: &str,
@@ -220,10 +261,15 @@ impl FsStorage {
     ) -> io::Result<R> {
         let mut handles = self.handles.lock().unwrap();
         if !handles.contains_key(file) {
-            let h = OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(self.dir.join(file))?;
+            let path = self.dir.join(file);
+            let existed = path.exists();
+            let h = OpenOptions::new().create(true).append(true).open(&path)?;
+            if !existed {
+                // The new file's directory entry must be durable before
+                // any fdatasync on the file can promise its contents
+                // survive a crash.
+                self.sync_dir()?;
+            }
             handles.insert(file.to_string(), h);
         }
         f(handles.get_mut(file).unwrap())
@@ -261,8 +307,22 @@ impl Storage for FsStorage {
         self.handles.lock().unwrap().remove(file);
         match std::fs::remove_file(self.dir.join(file)) {
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
-            other => other,
+            Err(e) => Err(e),
+            // The unlink must not be able to become durable *before* the
+            // things it supersedes (e.g. a checkpoint's new snapshot) —
+            // callers order their operations, so each directory mutation
+            // is made durable in program order.
+            Ok(()) => self.sync_dir(),
         }
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        let mut handles = self.handles.lock().unwrap();
+        handles.remove(from);
+        handles.remove(to);
+        drop(handles);
+        std::fs::rename(self.dir.join(from), self.dir.join(to))?;
+        self.sync_dir()
     }
 }
 
@@ -398,6 +458,25 @@ mod tests {
     }
 
     #[test]
+    fn mem_storage_rename_replaces_and_keeps_crash_accounting() {
+        let s = MemStorage::new();
+        s.append("old", b"stale").unwrap();
+        s.sync("old").unwrap();
+        s.append("f.tmp", b"payload").unwrap();
+        s.sync("f.tmp").unwrap();
+        s.rename("f.tmp", "old").unwrap();
+        assert_eq!(s.list().unwrap(), vec!["old".to_string()]);
+        assert_eq!(s.read("old").unwrap(), b"payload");
+        assert!(s.rename("missing", "x").is_err());
+
+        // Post-crash, the renamed contents survive under the new name and
+        // the replaced file's bytes are gone from the accounting.
+        let c = s.crash_durable_only();
+        assert_eq!(c.read("old").unwrap(), b"payload");
+        assert_eq!(c.total_appended(), b"payload".len());
+    }
+
+    #[test]
     fn faulty_writer_tears_shortens_and_flips() {
         // Tear at byte 4: caller "writes" 10 bytes, disk holds 4.
         let mut w = FaultyWriter::new(Vec::new()).tear_at(4);
@@ -430,6 +509,12 @@ mod tests {
         s.remove("wal-1.log").unwrap();
         s.remove("wal-1.log").unwrap(); // idempotent
         assert!(s.list().unwrap().is_empty());
+
+        s.append("snap.tmp", b"contents").unwrap();
+        s.sync("snap.tmp").unwrap();
+        s.rename("snap.tmp", "snap.qsnp").unwrap();
+        assert_eq!(s.list().unwrap(), vec!["snap.qsnp".to_string()]);
+        assert_eq!(s.read("snap.qsnp").unwrap(), b"contents");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -30,6 +30,18 @@
 //! Writers that arrive mid-fsync enqueue and are picked up by the next
 //! leader — one fsync per group, not per record, which is what lets the
 //! durable ingest path keep up with `ConcurrentTree`'s OLC write path.
+//!
+//! ## Failure poisoning
+//!
+//! A storage `append` that fails may have landed a partial copy of its
+//! frames; a storage `fsync` that fails may have silently dropped dirty
+//! pages (retrying an fsync after a failure can succeed without the data
+//! being durable). Either way the segment can no longer be trusted to
+//! carry a contiguous, durable LSN chain, so the WAL **poisons** itself:
+//! the pending frames are restored (nothing is silently dropped, so the
+//! LSN sequence never gains a gap), and every subsequent `append`,
+//! `flush` or `commit` — from *any* thread — fails with an error instead
+//! of acking records that recovery could never replay.
 
 use crate::frame::{decode_frame, encode_frame, FrameStep, WalCodec};
 use crate::storage::Storage;
@@ -125,6 +137,16 @@ struct WalState {
     seg_open: bool,
     /// Bytes written to the current segment.
     seg_bytes: usize,
+    /// Set after a storage append/fsync failure: the log can no longer
+    /// prove a contiguous durable LSN chain, so every further operation
+    /// fails (see the module docs).
+    poisoned: bool,
+}
+
+fn poison_err() -> io::Error {
+    io::Error::other(
+        "WAL poisoned by an earlier I/O error; no further appends or commits are accepted",
+    )
 }
 
 /// The segmented, group-committing write-ahead log.
@@ -165,6 +187,7 @@ impl Wal {
                 seg_seq: seq,
                 seg_open: false,
                 seg_bytes: 0,
+                poisoned: false,
             }),
             durable_cv: Condvar::new(),
             metrics: MetricsRegistry::default(),
@@ -193,6 +216,9 @@ impl Wal {
     /// (`Buffered` level). Empty `ops` returns the current last LSN.
     pub fn append<K: WalCodec, V: WalCodec>(&self, ops: &[WalOp<K, V>]) -> io::Result<Lsn> {
         let mut st = self.state.lock().unwrap();
+        if st.poisoned {
+            return Err(poison_err());
+        }
         for op in ops {
             let lsn = st.next_lsn;
             st.next_lsn += 1;
@@ -220,6 +246,11 @@ impl Wal {
     pub fn commit(&self, lsn: Lsn) -> io::Result<()> {
         let mut st = self.state.lock().unwrap();
         while st.durable_lsn < lsn {
+            if st.poisoned {
+                // Without this, waiters would park forever: a poisoned
+                // log's durable watermark never advances again.
+                return Err(poison_err());
+            }
             if st.leader_active {
                 // A leader's fsync is in flight; it (or the next leader)
                 // will cover us. Wait for the watermark to move.
@@ -255,6 +286,11 @@ impl Wal {
                     // Log2 histogram of records per fsync (not a latency).
                     self.metrics.group_commit_size.record_ns(group);
                 }
+            } else {
+                // A failed fsync may have dropped dirty pages without
+                // making them durable; retrying can "succeed" while the
+                // data is gone. Poison so no writer ever acks past this.
+                st2.poisoned = true;
             }
             self.durable_cv.notify_all();
             synced?;
@@ -267,13 +303,19 @@ impl Wal {
     /// segments as needed. Frames never span segments: rotation happens
     /// between flushes, and one flush lands in one segment.
     fn flush_locked(&self, st: &mut WalState) -> io::Result<()> {
+        if st.poisoned {
+            return Err(poison_err());
+        }
         if st.pending.is_empty() {
             return Ok(());
         }
         // Rotate a full segment before this batch (sync it first so the
         // durable watermark can never point past an unsynced old segment).
         if st.seg_open && st.seg_bytes >= self.tuning.segment_bytes {
-            self.storage.sync(&seg_name(st.generation, st.seg_seq))?;
+            if let Err(e) = self.storage.sync(&seg_name(st.generation, st.seg_seq)) {
+                st.poisoned = true;
+                return Err(e);
+            }
             st.seg_seq += 1;
             st.seg_open = false;
             st.seg_bytes = 0;
@@ -281,12 +323,28 @@ impl Wal {
         let seg = seg_name(st.generation, st.seg_seq);
         if !st.seg_open {
             let header = encode_seg_header(st.generation, st.seg_seq, st.written_lsn + 1);
-            self.storage.append(&seg, &header)?;
+            if let Err(e) = self.storage.append(&seg, &header) {
+                // The segment may hold a partial header; nothing from
+                // `pending` was consumed, but the file is no longer
+                // trustworthy — poison rather than write frames behind a
+                // torn header that recovery would discard.
+                st.poisoned = true;
+                return Err(e);
+            }
             st.seg_open = true;
             st.seg_bytes = header.len();
         }
         let pending = std::mem::take(&mut st.pending);
-        self.storage.append(&seg, &pending)?;
+        if let Err(e) = self.storage.append(&seg, &pending) {
+            // The segment may now hold a partial copy of these frames.
+            // Restore them so the assigned LSNs are never dropped (no
+            // gap), and poison: re-appending after partial garbage would
+            // put the frames behind a torn tail where recovery's
+            // same-segment scan can never reach them.
+            st.pending = pending;
+            st.poisoned = true;
+            return Err(e);
+        }
         st.seg_bytes += pending.len();
         st.written_lsn = st.next_lsn - 1;
         st.unsynced_records += st.pending_records;
@@ -309,7 +367,10 @@ impl Wal {
         let mut st = self.state.lock().unwrap();
         self.flush_locked(&mut st)?;
         if st.seg_open {
-            self.storage.sync(&seg_name(st.generation, st.seg_seq))?;
+            if let Err(e) = self.storage.sync(&seg_name(st.generation, st.seg_seq)) {
+                st.poisoned = true;
+                return Err(e);
+            }
         }
         st.durable_lsn = st.written_lsn;
         st.unsynced_records = 0;
@@ -332,7 +393,11 @@ impl Wal {
                 let stale_segment = parse_seg_name(&name).is_some_and(|(g, _)| g <= old_generation);
                 let stale_snapshot =
                     crate::snapshot::parse_snap_name(&name).is_some_and(|g| g < new_generation);
-                if stale_segment || stale_snapshot {
+                // Any `.tmp` still present is an interrupted snapshot
+                // publish from a previous run (the one we just wrote has
+                // already been renamed into place).
+                let stale_tmp = name.ends_with(".tmp");
+                if stale_segment || stale_snapshot || stale_tmp {
                     self.storage.remove(&name)?;
                 }
             }
@@ -620,6 +685,101 @@ mod tests {
         let scan = scan_wal::<u64, u64>(&crashed.crash_durable_only(), 0, 0).unwrap();
         assert_eq!(scan.last_lsn, 2);
         assert_eq!(scan.tail, vec![WalOp::Insert(1, 10), WalOp::Insert(3, 30)]);
+    }
+
+    /// Delegates to a [`MemStorage`] but fails appends while armed, after
+    /// landing *half* the bytes — the partial-write worst case a real
+    /// device error produces.
+    struct FailingStorage {
+        inner: MemStorage,
+        fail_appends: std::sync::atomic::AtomicBool,
+    }
+
+    impl FailingStorage {
+        fn new() -> Self {
+            FailingStorage {
+                inner: MemStorage::new(),
+                fail_appends: std::sync::atomic::AtomicBool::new(false),
+            }
+        }
+
+        fn arm(&self, on: bool) {
+            self.fail_appends
+                .store(on, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    impl Storage for FailingStorage {
+        fn append(&self, file: &str, bytes: &[u8]) -> io::Result<()> {
+            if self.fail_appends.load(std::sync::atomic::Ordering::SeqCst) {
+                let _ = self.inner.append(file, &bytes[..bytes.len() / 2]);
+                return Err(io::Error::other("injected append failure"));
+            }
+            self.inner.append(file, bytes)
+        }
+
+        fn sync(&self, file: &str) -> io::Result<()> {
+            self.inner.sync(file)
+        }
+
+        fn read(&self, file: &str) -> io::Result<Vec<u8>> {
+            self.inner.read(file)
+        }
+
+        fn list(&self) -> io::Result<Vec<String>> {
+            self.inner.list()
+        }
+
+        fn remove(&self, file: &str) -> io::Result<()> {
+            self.inner.remove(file)
+        }
+
+        fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+            self.inner.rename(from, to)
+        }
+    }
+
+    #[cfg_attr(feature = "inject-wal-bug", ignore = "framing bug injected")]
+    #[test]
+    fn failed_append_poisons_instead_of_acking_an_lsn_gap() {
+        let storage = Arc::new(FailingStorage::new());
+        let w = Wal::resume(
+            storage.clone(),
+            WalTuning {
+                segment_bytes: 1 << 20,
+                buffer_bytes: 0, // write-through: every append flushes
+            },
+            0,
+            0,
+            1,
+        );
+        w.append::<u64, u64>(&[WalOp::Insert(1, 10)]).unwrap();
+        w.commit(1).unwrap();
+
+        // The failing append lands a partial frame, then errors. The WAL
+        // must refuse all further work rather than drop the frame's LSN
+        // and later ack records recovery can never reach past the gap.
+        storage.arm(true);
+        assert!(w.append::<u64, u64>(&[WalOp::Insert(2, 20)]).is_err());
+        storage.arm(false);
+        assert!(
+            w.append::<u64, u64>(&[WalOp::Insert(3, 30)]).is_err(),
+            "poisoned WAL must reject appends even after the device heals"
+        );
+        assert!(w.flush().is_err());
+        assert!(
+            w.commit(2).is_err(),
+            "poisoned WAL must never ack LSNs past the failure"
+        );
+        assert_eq!(w.durable_lsn(), 1, "watermark frozen at the failure");
+
+        // Whatever reached storage recovers to a contiguous prefix: LSN 1
+        // plus a torn tail, never a gap.
+        let image = storage.inner.crash(usize::MAX);
+        let scan = scan_wal::<u64, u64>(&image, 0, 0).unwrap();
+        assert_eq!(scan.last_lsn, 1);
+        assert_eq!(scan.tail, vec![WalOp::Insert(1, 10)]);
+        assert!(scan.torn, "the partial frame reads as a torn tail");
     }
 
     #[cfg_attr(feature = "inject-wal-bug", ignore = "framing bug injected")]

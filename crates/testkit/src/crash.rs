@@ -18,6 +18,12 @@
 //! per-writer prefix consistency: every recovered partition is a
 //! contiguous prefix of that writer's insertion order, at least as long as
 //! its acked floor, with exact value tags.
+//!
+//! The contended driver ([`replay_crash_contended`]) is the complement:
+//! writers race inserts and deletes over one *shared* key set, and the
+//! oracle is that replaying the complete WAL reconstructs exactly the
+//! live tree — the direct check that the wrapper logs conflicting ops in
+//! the order it applies them (partition-based checks can never see this).
 
 use crate::oracle::{Divergence, Model};
 use crate::workload::Op;
@@ -498,6 +504,117 @@ pub fn replay_crash_concurrent(spec: &ConcCrashSpec) -> Result<ConcCrashReport, 
     Ok(report)
 }
 
+/// Knobs for the contended-key concurrent differential: N writers racing
+/// inserts *and deletes over one small shared key set* through the shared
+/// API — exactly the conflicting-key traffic the partitioned drivers
+/// above never generate, and the traffic that exposes any gap between
+/// WAL log order and tree apply order.
+#[derive(Clone, Debug)]
+pub struct ContendedSpec {
+    /// Writer threads, all hammering the same keys.
+    pub writers: usize,
+    /// Ops per writer (~1 in 4 is a delete).
+    pub ops_per_writer: usize,
+    /// Size of the shared key space (small = constant conflicts).
+    pub keys: u64,
+    /// Leaf capacity for the concurrent tree.
+    pub leaf_capacity: usize,
+    /// Seed for each writer's op stream.
+    pub seed: u64,
+}
+
+impl Default for ContendedSpec {
+    fn default() -> Self {
+        ContendedSpec {
+            writers: 4,
+            ops_per_writer: 600,
+            keys: 24,
+            leaf_capacity: 16,
+            seed: 0xC0_47E4D,
+        }
+    }
+}
+
+/// Runs the contended workload and checks `Durable`'s ordering invariant
+/// directly: once every writer has joined, **replaying the complete WAL
+/// must reconstruct exactly the live tree**. If the wrapper ever logged
+/// two conflicting ops in the opposite order to how they applied (e.g.
+/// insert(k) at LSN n applied after delete(k) at LSN n+1), the replayed
+/// state differs from the observed state on that key. Returns the final
+/// entry count on success.
+pub fn replay_crash_contended(spec: &ContendedSpec) -> Result<usize, Divergence> {
+    let diverge = |detail: String| Divergence {
+        family: "Durable<ConcurrentTree> (contended)",
+        op_index: usize::MAX,
+        detail,
+    };
+    let storage = Arc::new(MemStorage::new());
+    let (durable, _) = Durable::open(
+        storage.clone() as Arc<dyn Storage>,
+        DurabilityConfig::group_commit().with_segment_bytes(16 << 10),
+        concurrent_builder::<u64, u64>(ConcConfig::small(spec.leaf_capacity)),
+    )
+    .map_err(|e| io_div("open", e))?;
+    let durable = Arc::new(durable);
+
+    std::thread::scope(|scope| {
+        for w in 0..spec.writers {
+            let durable = durable.clone();
+            let mut rng = spec.seed ^ ((w as u64 + 1) << 17);
+            scope.spawn(move || {
+                for i in 0..spec.ops_per_writer as u64 {
+                    let r = splitmix(&mut rng);
+                    let k = r % spec.keys;
+                    if r >> 62 == 3 {
+                        durable.delete_shared(k);
+                    } else {
+                        durable.insert_shared(k, ((w as u64) << 48) | i);
+                    }
+                }
+            });
+        }
+    });
+
+    let live: Vec<(u64, u64)> = durable.tree().range(..).collect();
+    drop(durable);
+
+    // Full image: every logged record (all ops were acked, so everything
+    // is flushed). Recovery replays the WAL in LSN order — the oracle.
+    let full = Arc::new(storage.crash(usize::MAX));
+    let (replayed, rec) = Durable::open(
+        full as Arc<dyn Storage>,
+        DurabilityConfig::group_commit(),
+        concurrent_builder::<u64, u64>(ConcConfig::small(spec.leaf_capacity)),
+    )
+    .map_err(|e| io_div("contended recover", e))?;
+    if rec.torn_tail {
+        return Err(diverge("full image reported a torn tail".to_string()));
+    }
+    let got: Vec<(u64, u64)> = replayed.tree().range(..).collect();
+    if got != live {
+        let at = got
+            .iter()
+            .zip(&live)
+            .position(|(a, b)| a != b)
+            .unwrap_or(got.len().min(live.len()));
+        return Err(diverge(format!(
+            "replaying the full WAL (LSN {}) diverges from the live tree: \
+             {} vs {} entries, first mismatch at #{at} \
+             (replayed {:?} vs live {:?}) — log order broke apply order on a contended key",
+            rec.recovered_lsn,
+            got.len(),
+            live.len(),
+            got.get(at),
+            live.get(at),
+        )));
+    }
+    replayed
+        .tree()
+        .check_consistency()
+        .map_err(|e| diverge(format!("replayed tree consistency: {e}")))?;
+    Ok(live.len())
+}
+
 #[cfg(all(
     test,
     not(feature = "inject-wal-bug"),
@@ -547,5 +664,13 @@ mod tests {
         assert!(report.captured_floor > 0);
         assert!(report.cuts_tested >= 2);
         assert!(report.final_len > 0);
+    }
+
+    #[test]
+    fn contended_keys_full_replay_matches_live_tree() {
+        let spec = ContendedSpec::default();
+        let len = replay_crash_contended(&spec).unwrap_or_else(|d| panic!("{d}"));
+        // Duplicate keys are preserved, so the ceiling is total inserts.
+        assert!(len <= spec.writers * spec.ops_per_writer);
     }
 }

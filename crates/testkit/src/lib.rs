@@ -21,7 +21,8 @@
 //! merged-model comparison (see [`ConcSpec`]).
 //!
 //! Durability gets the same treatment: the crash-recovery differential
-//! mode ([`replay_crash`], [`replay_crash_concurrent`]) drives workloads
+//! mode ([`replay_crash`], [`replay_crash_concurrent`],
+//! [`replay_crash_contended`]) drives workloads
 //! through `quit-durability`'s `Durable` wrapper on an in-memory storage
 //! whose crash model is an arbitrary byte prefix of the append order, then
 //! recovers at fuzzed crash points and asserts prefix consistency against
@@ -46,8 +47,8 @@ mod workload;
 
 pub use concurrent::{conc_base_seed, replay_concurrent, ConcReport, ConcSpec};
 pub use crash::{
-    replay_crash, replay_crash_concurrent, replay_crash_ops, ConcCrashReport, ConcCrashSpec,
-    CrashReport, CrashSpec,
+    replay_crash, replay_crash_concurrent, replay_crash_contended, replay_crash_ops,
+    ConcCrashReport, ConcCrashSpec, ContendedSpec, CrashReport, CrashSpec,
 };
 pub use oracle::{replay, replay_guarded, Divergence, OracleConfig, ReplayReport};
 pub use workload::{Op, OpMix, WorkloadSpec, WorkloadStrategy, MAX_BATCH, MAX_BULK};
