@@ -108,6 +108,11 @@ impl Opts {
                     }
                 }
                 "--quick" => o.quick = true,
+                // Parsed by individual binaries (`--check` self-asserts,
+                // service_bench takes shard/client lists); recognized here
+                // so they don't warn as unknown.
+                "--check" => {}
+                "--clients" | "--shards" => i += 1,
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --n <entries> --seed <u64> --leaf-capacity <n> --threads <n> --quick"

@@ -115,7 +115,9 @@ impl ConcConfig {
         ((leaf_capacity as f64).sqrt().floor() as usize).max(1)
     }
 
-    /// Set the leaf capacity, keeping the reset threshold in sync.
+    /// Set the leaf capacity, keeping the internal capacity and reset
+    /// threshold in sync (same semantics as `TreeConfig::with_leaf_capacity`
+    /// — override either independently *after* this call).
     pub fn with_leaf_capacity(mut self, cap: usize) -> Self {
         assert!(cap >= 2, "leaf capacity must be at least 2");
         self.leaf_capacity = cap;
@@ -123,6 +125,13 @@ impl ConcConfig {
         if self.reset_threshold.is_some() {
             self.reset_threshold = Some(Self::default_reset_threshold(cap));
         }
+        self
+    }
+
+    /// Builder-style override of the internal-node key capacity alone.
+    pub fn with_internal_capacity(mut self, cap: usize) -> Self {
+        assert!(cap >= 3, "internal capacity must be at least 3");
+        self.internal_capacity = cap;
         self
     }
 
@@ -161,6 +170,17 @@ impl ConcConfig {
     pub fn with_olc_max_restarts(mut self, budget: u32) -> Self {
         self.olc_max_restarts = budget;
         self
+    }
+
+    /// Panics if the configuration is internally inconsistent (same
+    /// contract as `TreeConfig::assert_valid`).
+    pub fn assert_valid(&self) {
+        assert!(self.leaf_capacity >= 2, "leaf capacity must be >= 2");
+        assert!(
+            self.internal_capacity >= 3,
+            "internal capacity must be >= 3"
+        );
+        assert!(self.ikr_scale > 0.0, "IKR scale must be positive");
     }
 }
 
@@ -1418,6 +1438,16 @@ mod tests {
     use std::sync::Arc as StdArc;
 
     #[test]
+    fn builder_mirrors_tree_config() {
+        let c = ConcConfig::paper_default().with_leaf_capacity(64);
+        assert_eq!(c.internal_capacity, 64, "internal tracks leaf by default");
+        let c = c.with_internal_capacity(128);
+        assert_eq!(c.internal_capacity, 128, "explicit override wins");
+        assert_eq!(c.reset_threshold, Some(8));
+        c.assert_valid();
+    }
+
+    #[test]
     fn single_threaded_roundtrip() {
         let t: ConcurrentTree<u64, u64> = ConcurrentTree::new(ConcConfig::small(8));
         for k in 0..2000u64 {
@@ -1551,7 +1581,10 @@ mod tests {
             let stop = stop.clone();
             handles.push(std::thread::spawn(move || {
                 let mut hits = 0u64;
-                while !stop.load(Ordering::Relaxed) {
+                // do-while: on a single-core box the writers can finish
+                // before this thread's first quantum, so always complete
+                // at least one sweep before honouring `stop`.
+                loop {
                     for k in (0..1000u64).step_by(101) {
                         if t.get(k).is_some() {
                             hits += 1;
@@ -1559,6 +1592,9 @@ mod tests {
                     }
                     let n = t.range(0..500).count();
                     assert!(n >= 500, "pre-loaded keys must stay visible");
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
                 }
                 assert!(hits > 0);
             }));

@@ -115,13 +115,23 @@ impl TreeConfig {
         self.leaf_capacity / 2
     }
 
-    /// Set the leaf capacity, keeping the reset threshold in sync.
+    /// Set the leaf capacity, keeping the internal capacity and reset
+    /// threshold in sync (same semantics as `ConcConfig::with_leaf_capacity`
+    /// — override either independently *after* this call).
     pub fn with_leaf_capacity(mut self, cap: usize) -> Self {
         assert!(cap >= 2, "leaf capacity must be at least 2");
         self.leaf_capacity = cap;
+        self.internal_capacity = cap.max(4);
         if self.reset_threshold.is_some() {
             self.reset_threshold = Some(Self::default_reset_threshold(cap));
         }
+        self
+    }
+
+    /// Builder-style override of the internal-node key capacity alone.
+    pub fn with_internal_capacity(mut self, cap: usize) -> Self {
+        assert!(cap >= 3, "internal capacity must be at least 3");
+        self.internal_capacity = cap;
         self
     }
 
@@ -233,6 +243,23 @@ mod tests {
         let c = TreeConfig::paper_default().with_leaf_capacity(64);
         assert_eq!(c.reset_threshold, Some(8));
         assert_eq!(TreeConfig::default_reset_threshold(2), 1);
+    }
+
+    #[test]
+    fn leaf_capacity_syncs_internal_capacity() {
+        let c = TreeConfig::paper_default().with_leaf_capacity(64);
+        assert_eq!(c.internal_capacity, 64, "internal tracks leaf by default");
+        let c = c.with_internal_capacity(128);
+        assert_eq!(c.internal_capacity, 128, "explicit override wins");
+        assert_eq!(c.leaf_capacity, 64);
+        c.assert_valid();
+        // Tiny leaves still get a usable fan-out.
+        assert_eq!(
+            TreeConfig::paper_default()
+                .with_leaf_capacity(2)
+                .internal_capacity,
+            4
+        );
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! The workspace-wide error type.
+//!
+//! Before 0.7.0 every crate surfaced failures its own way — `io::Result`
+//! in `quit-durability`, `Result<(), String>` consistency checks,
+//! panicking validators — which made a coherent public API (and a network
+//! service's wire status codes) impossible. [`Error`] is the one error
+//! type the facade exports; every fallible public API in the workspace
+//! returns [`Result`], and `quit-service` maps wire status codes from
+//! these variants one-to-one.
+//!
+//! The enum is `#[non_exhaustive]`: downstream `match`es need a wildcard
+//! arm, which is what lets future subsystems add variants without a
+//! breaking release.
+
+use std::fmt;
+use std::io;
+
+/// Workspace-wide result alias: `quit_core::Result<T>`.
+///
+/// The facade re-exports this as `quick_insertion_tree::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The unified error type for every fallible public API in the QuIT
+/// workspace.
+///
+/// Each variant corresponds to one wire status code in `quit-service`'s
+/// binary protocol, so a networked caller sees exactly the taxonomy an
+/// in-process caller does.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// The write-ahead log rejected an operation (framing, rotation, or
+    /// recovery-scan failures that are not plain I/O).
+    Wal(String),
+    /// Stored or received bytes failed validation: CRC mismatches, torn
+    /// frames where none are legal, malformed wire messages, or a failed
+    /// structural consistency check.
+    Corruption(String),
+    /// The WAL poisoned itself after an earlier append/fsync failure; no
+    /// further mutations are accepted because durability can no longer be
+    /// promised (see `quit-durability`'s failure-poisoning docs).
+    Poisoned,
+    /// An operating-system I/O error.
+    Io(io::Error),
+    /// An invalid configuration value or combination.
+    Config(String),
+    /// The target (service, shard worker, or connection) is shutting down
+    /// and no longer accepts work.
+    Shutdown,
+}
+
+impl Error {
+    /// Convenience constructor for [`Error::Wal`].
+    pub fn wal(msg: impl Into<String>) -> Self {
+        Error::Wal(msg.into())
+    }
+
+    /// Convenience constructor for [`Error::Corruption`].
+    pub fn corruption(msg: impl Into<String>) -> Self {
+        Error::Corruption(msg.into())
+    }
+
+    /// Convenience constructor for [`Error::Config`].
+    pub fn config(msg: impl Into<String>) -> Self {
+        Error::Config(msg.into())
+    }
+
+    /// A stable, dependency-free discriminant name (`"wal"`, `"io"`, …) —
+    /// what `quit-service` derives its wire status codes from and what
+    /// log lines should print.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Wal(_) => "wal",
+            Error::Corruption(_) => "corruption",
+            Error::Poisoned => "poisoned",
+            Error::Io(_) => "io",
+            Error::Config(_) => "config",
+            Error::Shutdown => "shutdown",
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Wal(msg) => write!(f, "WAL error: {msg}"),
+            Error::Corruption(msg) => write!(f, "corruption detected: {msg}"),
+            Error::Poisoned => write!(
+                f,
+                "WAL poisoned by an earlier I/O error; no further mutations are accepted"
+            ),
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::Shutdown => write!(f, "shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_kind_cover_every_variant() {
+        let cases: Vec<(Error, &str, &str)> = vec![
+            (Error::wal("segment gone"), "wal", "WAL error: segment gone"),
+            (
+                Error::corruption("bad crc"),
+                "corruption",
+                "corruption detected: bad crc",
+            ),
+            (
+                Error::Poisoned,
+                "poisoned",
+                "WAL poisoned by an earlier I/O error; no further mutations are accepted",
+            ),
+            (
+                Error::config("0 shards"),
+                "config",
+                "invalid configuration: 0 shards",
+            ),
+            (Error::Shutdown, "shutdown", "shutting down"),
+        ];
+        for (e, kind, display) in cases {
+            assert_eq!(e.kind(), kind);
+            assert_eq!(e.to_string(), display);
+        }
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        fn fails() -> Result<()> {
+            Err(io::Error::new(io::ErrorKind::NotFound, "gone"))?;
+            Ok(())
+        }
+        let e = fails().unwrap_err();
+        assert_eq!(e.kind(), "io");
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -85,6 +85,7 @@ mod bulk;
 mod config;
 mod cursor;
 mod delete;
+mod error;
 mod fastpath;
 mod ikr;
 mod insert;
@@ -107,6 +108,7 @@ mod variants;
 pub use arena::NodeId;
 pub use config::{SplitBoundRule, TreeConfig};
 pub use cursor::Cursor;
+pub use error::{Error, Result};
 pub use fastpath::{FastPathMode, FastPathState};
 pub use ikr::{ikr_bound, is_outlier, split_bound};
 pub use iter::{RangeIter, RangeScan, TreeIter};

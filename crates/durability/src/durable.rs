@@ -34,8 +34,7 @@ use crate::storage::Storage;
 use crate::wal::{scan_wal, Lsn, Wal, WalTuning};
 use crate::WalOp;
 use quit_concurrent::{ConcConfig, ConcurrentTree};
-use quit_core::{BpTree, FastPathMode, Key, SortedIndex, StatsSnapshot, TreeConfig};
-use std::io;
+use quit_core::{BpTree, FastPathMode, Key, Result, SortedIndex, StatsSnapshot, TreeConfig};
 use std::ops::RangeBounds;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -208,7 +207,7 @@ impl<T> Durable<T> {
         storage: Arc<dyn Storage>,
         config: DurabilityConfig,
         build: F,
-    ) -> io::Result<(Self, RecoveryReport)>
+    ) -> Result<(Self, RecoveryReport)>
     where
         K: Key + WalCodec,
         V: Clone + WalCodec,
@@ -284,13 +283,13 @@ impl<T> Durable<T> {
     }
 
     /// Pushes any buffered WAL bytes to the OS (no fsync).
-    pub fn flush(&self) -> io::Result<()> {
+    pub fn flush(&self) -> Result<()> {
         self.wal.flush()
     }
 
     /// Blocks until everything logged so far is fsync-durable (explicit
     /// durability point for the `Buffered` level; a no-op at `Off`).
-    pub fn commit_all(&self) -> io::Result<()> {
+    pub fn commit_all(&self) -> Result<()> {
         if self.config.level == DurabilityLevel::Off {
             return Ok(());
         }
@@ -329,7 +328,7 @@ impl<T> Durable<T> {
     /// Checkpoint: writes the index's full contents as a sorted snapshot,
     /// rotates the WAL to a fresh generation, and prunes superseded files
     /// (if configured). After this, recovery is `bulk_load + (tiny) tail`.
-    pub fn checkpoint<K, V>(&mut self) -> io::Result<()>
+    pub fn checkpoint<K, V>(&mut self) -> Result<()>
     where
         K: Key + WalCodec,
         V: Clone + WalCodec,

@@ -15,6 +15,11 @@
 //!   ([`apply_tail`]).
 //! * [`Durable<T>`] wraps any `SortedIndex` with log-then-apply semantics
 //!   behind three [`DurabilityLevel`]s: `Off`, `Buffered`, `GroupCommit`.
+//!   Every fallible public API returns [`quit_core::Result`] — `Poisoned`
+//!   for a log that can no longer promise durability, `Io` (via `From`)
+//!   for storage failures — so callers and `quit-service`'s wire protocol
+//!   share one error taxonomy. Only the [`Storage`] backend SPI keeps raw
+//!   `io::Result`, since its implementors speak to the OS.
 //! * Verification is part of the subsystem: [`MemStorage`] models a crash
 //!   as an arbitrary byte prefix of the global append order (never less
 //!   than what fsync promised), [`FaultyWriter`] injects torn/short/
@@ -64,5 +69,6 @@ pub use durable::{
     RecoveryReport,
 };
 pub use frame::{crc32, WalCodec, WalOp};
+pub use quit_core::{Error, Result};
 pub use storage::{FaultyWriter, FsStorage, MemStorage, Storage};
 pub use wal::{Lsn, Wal, WalTuning};

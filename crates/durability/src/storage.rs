@@ -13,11 +13,12 @@
 //! caps write sizes (short writes), and flips bits, producing the corrupt
 //! byte streams the recovery path must survive.
 
+use quit_core::{Error, Result};
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Write};
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Append-only file storage, as seen by the WAL: named streams that can be
 /// appended, fsynced, read back whole, listed, and removed.
@@ -234,13 +235,35 @@ pub struct FsStorage {
 
 impl FsStorage {
     /// Opens (creating if needed) the storage directory.
-    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         Ok(FsStorage {
             dir,
             handles: Mutex::new(BTreeMap::new()),
         })
+    }
+
+    /// Opens (creating if needed) one storage directory per shard under
+    /// `root`: `root/shard-0000/`, `root/shard-0001/`, …
+    ///
+    /// This is the multi-WAL-directory layout `quit-service` runs on: each
+    /// shard owns its own `Durable` wrapper and therefore its own segment
+    /// and snapshot namespace, so shards recover independently and their
+    /// group-commit leaders batch fsyncs per shard instead of contending
+    /// on one log.
+    pub fn open_sharded(root: impl Into<PathBuf>, shards: usize) -> Result<Vec<Arc<FsStorage>>> {
+        if shards == 0 {
+            return Err(Error::config("shard count must be at least 1"));
+        }
+        let root = root.into();
+        (0..shards)
+            .map(|i| {
+                Ok(Arc::new(FsStorage::open(
+                    root.join(format!("shard-{i:04}")),
+                )?))
+            })
+            .collect()
     }
 
     /// The directory this store writes under.

@@ -46,7 +46,7 @@
 use crate::frame::{decode_frame, encode_frame, FrameStep, WalCodec};
 use crate::storage::Storage;
 use crate::WalOp;
-use quit_core::MetricsRegistry;
+use quit_core::{Error, MetricsRegistry, Result};
 use std::io;
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -143,10 +143,8 @@ struct WalState {
     poisoned: bool,
 }
 
-fn poison_err() -> io::Error {
-    io::Error::other(
-        "WAL poisoned by an earlier I/O error; no further appends or commits are accepted",
-    )
+fn poison_err() -> Error {
+    Error::Poisoned
 }
 
 /// The segmented, group-committing write-ahead log.
@@ -214,7 +212,7 @@ impl Wal {
     /// last LSN assigned. Does *not* make them durable — pair with
     /// [`commit`](Self::commit) (group commit) or rely on buffer flushes
     /// (`Buffered` level). Empty `ops` returns the current last LSN.
-    pub fn append<K: WalCodec, V: WalCodec>(&self, ops: &[WalOp<K, V>]) -> io::Result<Lsn> {
+    pub fn append<K: WalCodec, V: WalCodec>(&self, ops: &[WalOp<K, V>]) -> Result<Lsn> {
         let mut st = self.state.lock().unwrap();
         if st.poisoned {
             return Err(poison_err());
@@ -236,14 +234,14 @@ impl Wal {
     }
 
     /// Pushes buffered frames to storage (still not fsynced).
-    pub fn flush(&self) -> io::Result<()> {
+    pub fn flush(&self) -> Result<()> {
         let mut st = self.state.lock().unwrap();
         self.flush_locked(&mut st)
     }
 
     /// Blocks until `lsn` is durable, becoming the group-commit leader if
     /// none is running: flush, one fsync for the whole group, wake everyone.
-    pub fn commit(&self, lsn: Lsn) -> io::Result<()> {
+    pub fn commit(&self, lsn: Lsn) -> Result<()> {
         let mut st = self.state.lock().unwrap();
         while st.durable_lsn < lsn {
             if st.poisoned {
@@ -268,7 +266,7 @@ impl Wal {
             // One fsync for every record flushed so far — the group.
             let synced = flushed.and_then(|()| {
                 if seg_open {
-                    self.storage.sync(&seg)
+                    self.storage.sync(&seg).map_err(Error::from)
                 } else {
                     Ok(())
                 }
@@ -302,7 +300,7 @@ impl Wal {
     /// Flushes pending frames into the active segment, opening/rotating
     /// segments as needed. Frames never span segments: rotation happens
     /// between flushes, and one flush lands in one segment.
-    fn flush_locked(&self, st: &mut WalState) -> io::Result<()> {
+    fn flush_locked(&self, st: &mut WalState) -> Result<()> {
         if st.poisoned {
             return Err(poison_err());
         }
@@ -314,7 +312,7 @@ impl Wal {
         if st.seg_open && st.seg_bytes >= self.tuning.segment_bytes {
             if let Err(e) = self.storage.sync(&seg_name(st.generation, st.seg_seq)) {
                 st.poisoned = true;
-                return Err(e);
+                return Err(e.into());
             }
             st.seg_seq += 1;
             st.seg_open = false;
@@ -329,7 +327,7 @@ impl Wal {
                 // trustworthy — poison rather than write frames behind a
                 // torn header that recovery would discard.
                 st.poisoned = true;
-                return Err(e);
+                return Err(e.into());
             }
             st.seg_open = true;
             st.seg_bytes = header.len();
@@ -343,7 +341,7 @@ impl Wal {
             // same-segment scan can never reach them.
             st.pending = pending;
             st.poisoned = true;
-            return Err(e);
+            return Err(e.into());
         }
         st.seg_bytes += pending.len();
         st.written_lsn = st.next_lsn - 1;
@@ -363,13 +361,13 @@ impl Wal {
         entries: &[(K, V)],
         chunk_entries: usize,
         prune: bool,
-    ) -> io::Result<()> {
+    ) -> Result<()> {
         let mut st = self.state.lock().unwrap();
         self.flush_locked(&mut st)?;
         if st.seg_open {
             if let Err(e) = self.storage.sync(&seg_name(st.generation, st.seg_seq)) {
                 st.poisoned = true;
-                return Err(e);
+                return Err(e.into());
             }
         }
         st.durable_lsn = st.written_lsn;

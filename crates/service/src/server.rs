@@ -1,0 +1,573 @@
+//! The sharded TCP server: one `Durable<ConcurrentTree>` (and one WAL
+//! directory) per shard, one worker thread per shard, and per-connection
+//! reader/writer threads gluing the wire protocol to the shard channels.
+//!
+//! ## Threading model
+//!
+//! * **Shard worker** — owns its `Durable<ConcurrentTree<u64, u64>>`
+//!   outright, so mutations go through the `&mut self` [`SortedIndex`]
+//!   path and buffered single-insert runs reach `insert_batch`'s
+//!   sorted-run detection exactly like an embedded caller's would. The
+//!   worker drains one mpsc channel; within a shard, operations apply in
+//!   channel order (which is submission order per connection), so a
+//!   connection always reads its own writes.
+//! * **Connection reader** — decodes frames, accumulates single inserts
+//!   in a [`InsertBatcher`], and flushes a shard's run when it reaches
+//!   `batch_max`, when a non-insert request arrives (read-your-writes),
+//!   or when the connection's read buffer drains — the natural pipelining
+//!   window: everything a client sent in one burst coalesces into one
+//!   run per shard, one WAL append, one group-commit wait.
+//! * **Connection writer** — drains pre-encoded reply frames from an
+//!   mpsc channel into a `BufWriter`, flushing whenever the channel goes
+//!   momentarily empty. Replies to different shards' requests may
+//!   interleave out of submission order; the client matches them by id.
+//!
+//! Cross-shard requests (`InsertBatch` spanning a boundary, `Range`,
+//! `Stats`) fan out to every involved worker and aggregate through a
+//! small atomic countdown; the last worker to finish encodes the reply.
+//!
+//! A WAL failure poisons the shard's log and panics its worker (the same
+//! contract as embedded `Durable` use); from then on requests touching
+//! that shard answer with status `Shutdown` while healthy shards keep
+//! serving.
+
+use crate::config::ServiceConfig;
+use crate::router::{is_batchable, shards_overlapping, split_batch, InsertBatcher};
+use crate::wire::{encode_reply, read_request, Reply, Request, ServiceStats, MAX_RANGE_RESULTS};
+use quit_concurrent::ConcurrentTree;
+use quit_core::{Error, Result, SortedIndex};
+use quit_durability::{
+    concurrent_builder, Durable, FsStorage, MemStorage, RecoveryReport, Storage,
+};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Shard = Durable<ConcurrentTree<u64, u64>>;
+type Entries = Vec<(u64, u64)>;
+
+/// A batch spanning shards: the last worker to finish replies.
+struct BatchAgg {
+    req_id: u64,
+    remaining: AtomicUsize,
+    fast: AtomicU64,
+    reply: Sender<Vec<u8>>,
+}
+
+impl BatchAgg {
+    fn done(&self, fast: u64) {
+        self.fast.fetch_add(fast, Ordering::Relaxed);
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let fast = self.fast.load(Ordering::Acquire);
+            let _ = self.reply.send(encode_reply(
+                self.req_id,
+                &Ok(Reply::BatchInserted { fast }),
+            ));
+        }
+    }
+}
+
+/// A range spanning shards: per-shard results land in slot order (shard
+/// ranges are disjoint and ascending, so concatenation is globally
+/// sorted), and the last worker truncates to the limit and replies.
+struct RangeAgg {
+    req_id: u64,
+    limit: usize,
+    remaining: AtomicUsize,
+    slots: Mutex<Vec<Option<Entries>>>,
+    reply: Sender<Vec<u8>>,
+}
+
+impl RangeAgg {
+    fn done(&self, slot: usize, entries: Vec<(u64, u64)>) {
+        self.slots.lock().unwrap()[slot] = Some(entries);
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut out = Vec::new();
+            for part in self.slots.lock().unwrap().iter_mut() {
+                out.extend(part.take().unwrap_or_default());
+                if out.len() >= self.limit {
+                    break;
+                }
+            }
+            out.truncate(self.limit);
+            let _ = self
+                .reply
+                .send(encode_reply(self.req_id, &Ok(Reply::Entries(out))));
+        }
+    }
+}
+
+/// Stats across every shard, summed by the workers themselves.
+struct StatsAgg {
+    req_id: u64,
+    remaining: AtomicUsize,
+    acc: Mutex<ServiceStats>,
+    reply: Sender<Vec<u8>>,
+}
+
+impl StatsAgg {
+    fn done(&self, part: ServiceStats) {
+        {
+            let mut acc = self.acc.lock().unwrap();
+            acc.len += part.len;
+            acc.fast_inserts += part.fast_inserts;
+            acc.top_inserts += part.top_inserts;
+            acc.wal_appends += part.wal_appends;
+            acc.wal_fsyncs += part.wal_fsyncs;
+            acc.shards = part.shards;
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let stats = *self.acc.lock().unwrap();
+            let _ = self
+                .reply
+                .send(encode_reply(self.req_id, &Ok(Reply::Stats(stats))));
+        }
+    }
+}
+
+enum ShardMsg {
+    /// A contiguous run of buffered single inserts; each id gets its own
+    /// `Inserted` reply once the whole run is applied (and durable, per
+    /// the configured level).
+    Run {
+        entries: Vec<(u64, u64)>,
+        req_ids: Vec<u64>,
+        reply: Sender<Vec<u8>>,
+    },
+    /// One shard's slice of a client `InsertBatch`.
+    Batch {
+        entries: Vec<(u64, u64)>,
+        agg: Arc<BatchAgg>,
+    },
+    Get {
+        key: u64,
+        req_id: u64,
+        reply: Sender<Vec<u8>>,
+    },
+    Delete {
+        key: u64,
+        req_id: u64,
+        reply: Sender<Vec<u8>>,
+    },
+    Range {
+        start: u64,
+        end: u64,
+        fetch: usize,
+        slot: usize,
+        agg: Arc<RangeAgg>,
+    },
+    Stats {
+        agg: Arc<StatsAgg>,
+        shards: u32,
+    },
+}
+
+fn shard_worker(mut shard: Shard, rx: Receiver<ShardMsg>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Run {
+                entries,
+                req_ids,
+                reply,
+            } => {
+                shard.insert_batch(&entries);
+                for id in req_ids {
+                    let _ = reply.send(encode_reply(id, &Ok(Reply::Inserted)));
+                }
+            }
+            ShardMsg::Batch { entries, agg } => {
+                let fast = shard.insert_batch(&entries);
+                agg.done(fast as u64);
+            }
+            ShardMsg::Get { key, req_id, reply } => {
+                let got = shard.tree().get(key);
+                let _ = reply.send(encode_reply(req_id, &Ok(Reply::Got(got))));
+            }
+            ShardMsg::Delete { key, req_id, reply } => {
+                let prev = shard.delete(key);
+                let _ = reply.send(encode_reply(req_id, &Ok(Reply::Deleted(prev))));
+            }
+            ShardMsg::Range {
+                start,
+                end,
+                fetch,
+                slot,
+                agg,
+            } => {
+                let entries: Vec<(u64, u64)> =
+                    shard.tree().range(start..=end).take(fetch).collect();
+                agg.done(slot, entries);
+            }
+            ShardMsg::Stats { agg, shards } => {
+                let snap = shard.metrics();
+                agg.done(ServiceStats {
+                    len: shard.len() as u64,
+                    fast_inserts: snap.fast_inserts,
+                    top_inserts: snap.top_inserts,
+                    wal_appends: snap.wal_appends,
+                    wal_fsyncs: snap.wal_fsyncs,
+                    shards,
+                });
+            }
+        }
+    }
+    // Every connection and the acceptor dropped their senders: final
+    // durability point before the thread exits (the log may hold
+    // buffered bytes at the `Buffered` level).
+    let _ = shard.commit_all();
+}
+
+/// The sharded TCP server. Construction recovers every shard (each from
+/// its own storage directory) and starts serving; [`Server::shutdown`]
+/// (Self::shutdown) stops accepting, closes live connections, and drains
+/// the shard workers to a durable stop.
+pub struct Server {
+    addr: SocketAddr,
+    stopping: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts a server on `addr` (use port 0 for an ephemeral port; read
+    /// it back via [`local_addr`](Self::local_addr)) with one storage
+    /// backend per shard — `storages.len()` must equal `config.shards`.
+    /// Returns the per-shard recovery reports alongside the handle.
+    pub fn start(
+        storages: Vec<Arc<dyn Storage>>,
+        config: ServiceConfig,
+        addr: impl ToSocketAddrs,
+    ) -> Result<(Server, Vec<RecoveryReport>)> {
+        config.validate()?;
+        if storages.len() != config.shards {
+            return Err(Error::config(format!(
+                "{} storage backends for {} shards",
+                storages.len(),
+                config.shards
+            )));
+        }
+        let mut workers = Vec::with_capacity(config.shards);
+        let mut txs = Vec::with_capacity(config.shards);
+        let mut reports = Vec::with_capacity(config.shards);
+        for storage in storages {
+            let (shard, report) = Durable::open(
+                storage,
+                config.durability,
+                concurrent_builder::<u64, u64>(config.tree.clone()),
+            )?;
+            reports.push(report);
+            let (tx, rx) = channel();
+            txs.push(tx);
+            workers.push(std::thread::spawn(move || shard_worker(shard, rx)));
+        }
+
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stopping = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let stopping = stopping.clone();
+            let conns = conns.clone();
+            let batch_max = config.batch_max;
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stopping.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let _ = stream.set_nodelay(true);
+                    if let Ok(clone) = stream.try_clone() {
+                        conns.lock().unwrap().push(clone);
+                    }
+                    let txs = txs.clone();
+                    std::thread::spawn(move || connection(stream, txs, batch_max));
+                }
+                // `txs` drops here; workers exit once every live
+                // connection's clones drop too.
+            })
+        };
+
+        Ok((
+            Server {
+                addr,
+                stopping,
+                conns,
+                accept: Some(accept),
+                workers,
+            },
+            reports,
+        ))
+    }
+
+    /// [`start`](Self::start) on one in-memory backend per shard (tests
+    /// and benches; nothing survives the process).
+    pub fn start_in_memory(
+        config: ServiceConfig,
+        addr: impl ToSocketAddrs,
+    ) -> Result<(Server, Vec<RecoveryReport>)> {
+        let storages = (0..config.shards)
+            .map(|_| Arc::new(MemStorage::new()) as Arc<dyn Storage>)
+            .collect();
+        Self::start(storages, config, addr)
+    }
+
+    /// [`start`](Self::start) on `root/shard-NNNN/` file-backed WAL
+    /// directories (created as needed) — the durable deployment shape.
+    pub fn start_dir(
+        root: impl AsRef<Path>,
+        config: ServiceConfig,
+        addr: impl ToSocketAddrs,
+    ) -> Result<(Server, Vec<RecoveryReport>)> {
+        let storages = FsStorage::open_sharded(root.as_ref(), config.shards)?
+            .into_iter()
+            .map(|s| s as Arc<dyn Storage>)
+            .collect();
+        Self::start(storages, config, addr)
+    }
+
+    /// The bound address (the ephemeral port, if 0 was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server: no new connections, live connections closed,
+    /// shard workers drained to a durable stop. Blocks until every
+    /// worker has exited.
+    pub fn shutdown(mut self) -> Result<()> {
+        self.stopping.store(true, Ordering::Release);
+        // Wake the acceptor so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Close live connections; their readers see EOF/reset, flush
+        // nothing further, and drop their shard senders.
+        for conn in self.conns.lock().unwrap().drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        let mut poisoned = 0usize;
+        for h in self.workers.drain(..) {
+            if h.join().is_err() {
+                poisoned += 1;
+            }
+        }
+        if poisoned > 0 {
+            return Err(Error::wal(format!(
+                "{poisoned} shard worker(s) died on a poisoned WAL"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Submits one buffered run, answering `Shutdown` per request if the
+/// shard's worker is gone.
+fn submit_run(
+    tx: &Sender<ShardMsg>,
+    entries: Vec<(u64, u64)>,
+    req_ids: Vec<u64>,
+    reply: &Sender<Vec<u8>>,
+) {
+    let msg = ShardMsg::Run {
+        entries,
+        req_ids,
+        reply: reply.clone(),
+    };
+    if let Err(std::sync::mpsc::SendError(ShardMsg::Run { req_ids, .. })) = tx.send(msg) {
+        for id in req_ids {
+            let _ = reply.send(encode_reply(id, &Err(Error::Shutdown)));
+        }
+    }
+}
+
+fn connection(stream: TcpStream, shard_txs: Vec<Sender<ShardMsg>>, batch_max: usize) {
+    let shards = shard_txs.len();
+    let (reply_tx, reply_rx) = channel::<Vec<u8>>();
+    let writer = match stream.try_clone() {
+        Ok(w) => std::thread::spawn(move || writer_loop(w, reply_rx)),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut batcher = InsertBatcher::new(shards, batch_max);
+
+    loop {
+        let (req_id, req) = match read_request(&mut reader) {
+            Ok(Some(r)) => r,
+            // Clean disconnect at a frame boundary.
+            Ok(None) => break,
+            Err(e) => {
+                // The stream is desynchronized; report on id 0 (never
+                // issued by well-formed clients) and hang up.
+                let _ = reply_tx.send(encode_reply(0, &Err(e)));
+                break;
+            }
+        };
+
+        if !is_batchable(&req) {
+            // Read-your-writes: everything this connection buffered must
+            // reach the workers (in channel order) before the new
+            // request does.
+            for (shard, entries, req_ids) in batcher.drain() {
+                submit_run(&shard_txs[shard], entries, req_ids, &reply_tx);
+            }
+        }
+
+        match req {
+            Request::Insert { key, value } => {
+                if let Some((shard, entries, req_ids)) = batcher.push(req_id, key, value) {
+                    submit_run(&shard_txs[shard], entries, req_ids, &reply_tx);
+                }
+            }
+            Request::InsertBatch { entries } => {
+                let runs = split_batch(&entries, shards);
+                if runs.is_empty() {
+                    let _ =
+                        reply_tx.send(encode_reply(req_id, &Ok(Reply::BatchInserted { fast: 0 })));
+                } else {
+                    let agg = Arc::new(BatchAgg {
+                        req_id,
+                        remaining: AtomicUsize::new(runs.len()),
+                        fast: AtomicU64::new(0),
+                        reply: reply_tx.clone(),
+                    });
+                    for (shard, entries) in runs {
+                        let msg = ShardMsg::Batch {
+                            entries,
+                            agg: agg.clone(),
+                        };
+                        if shard_txs[shard].send(msg).is_err() {
+                            // Count the dead shard's slice as done with no
+                            // fast-path entries; the client still gets one
+                            // reply. (A dead worker means a poisoned WAL;
+                            // the next non-batch request reports it.)
+                            agg.done(0);
+                        }
+                    }
+                }
+            }
+            Request::Get { key } => {
+                let shard = crate::router::shard_of(key, shards);
+                let msg = ShardMsg::Get {
+                    key,
+                    req_id,
+                    reply: reply_tx.clone(),
+                };
+                if shard_txs[shard].send(msg).is_err() {
+                    let _ = reply_tx.send(encode_reply(req_id, &Err(Error::Shutdown)));
+                }
+            }
+            Request::Delete { key } => {
+                let shard = crate::router::shard_of(key, shards);
+                let msg = ShardMsg::Delete {
+                    key,
+                    req_id,
+                    reply: reply_tx.clone(),
+                };
+                if shard_txs[shard].send(msg).is_err() {
+                    let _ = reply_tx.send(encode_reply(req_id, &Err(Error::Shutdown)));
+                }
+            }
+            Request::Range { start, end, limit } => {
+                let limit = if limit == 0 || limit > MAX_RANGE_RESULTS {
+                    MAX_RANGE_RESULTS as usize
+                } else {
+                    limit as usize
+                };
+                let span = shards_overlapping(start, end, shards);
+                let count = span.clone().count();
+                if count == 0 {
+                    let _ = reply_tx.send(encode_reply(req_id, &Ok(Reply::Entries(Vec::new()))));
+                } else {
+                    let agg = Arc::new(RangeAgg {
+                        req_id,
+                        limit,
+                        remaining: AtomicUsize::new(count),
+                        slots: Mutex::new(vec![None; count]),
+                        reply: reply_tx.clone(),
+                    });
+                    for (slot, shard) in span.enumerate() {
+                        let msg = ShardMsg::Range {
+                            start,
+                            end,
+                            fetch: limit,
+                            slot,
+                            agg: agg.clone(),
+                        };
+                        if shard_txs[shard].send(msg).is_err() {
+                            agg.done(slot, Vec::new());
+                        }
+                    }
+                }
+            }
+            Request::Stats => {
+                let agg = Arc::new(StatsAgg {
+                    req_id,
+                    remaining: AtomicUsize::new(shards),
+                    acc: Mutex::new(ServiceStats::default()),
+                    reply: reply_tx.clone(),
+                });
+                for tx in &shard_txs {
+                    let msg = ShardMsg::Stats {
+                        agg: agg.clone(),
+                        shards: shards as u32,
+                    };
+                    if tx.send(msg).is_err() {
+                        agg.done(ServiceStats::default());
+                    }
+                }
+            }
+        }
+
+        // The pipelining window closed: nothing more is already buffered,
+        // so the next read may block — flush what this burst accumulated.
+        if !batcher.is_empty() && reader.buffer().is_empty() {
+            for (shard, entries, req_ids) in batcher.drain() {
+                submit_run(&shard_txs[shard], entries, req_ids, &reply_tx);
+            }
+        }
+    }
+
+    for (shard, entries, req_ids) in batcher.drain() {
+        submit_run(&shard_txs[shard], entries, req_ids, &reply_tx);
+    }
+    // Dropping reply_tx lets the writer drain outstanding worker replies
+    // and exit once the last agg/worker clone drops.
+    drop(reply_tx);
+    let _ = writer.join();
+}
+
+fn writer_loop(stream: TcpStream, rx: Receiver<Vec<u8>>) {
+    let mut w = BufWriter::new(stream);
+    loop {
+        match rx.try_recv() {
+            Ok(frame) => {
+                if w.write_all(&frame).is_err() {
+                    return;
+                }
+            }
+            Err(TryRecvError::Empty) => {
+                // Momentarily idle: push replies to the wire, then block.
+                if w.flush().is_err() {
+                    return;
+                }
+                match rx.recv() {
+                    Ok(frame) => {
+                        if w.write_all(&frame).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            }
+            Err(TryRecvError::Disconnected) => {
+                let _ = w.flush();
+                return;
+            }
+        }
+    }
+}

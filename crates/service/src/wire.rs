@@ -1,0 +1,583 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every frame — request or reply — is `[body_len: u32 LE][body]`, where
+//! the body starts with an 8-byte request id. Requests follow the id with
+//! a one-byte opcode; replies follow it with a one-byte status. Ids are
+//! chosen by the client and echoed back verbatim, which is what makes the
+//! protocol *pipelined*: a client may have any number of requests in
+//! flight and match replies by id (per-shard replies may arrive out of
+//! submission order across shards; within one shard they are ordered).
+//!
+//! ## Request bodies
+//!
+//! | opcode | name          | payload                                      |
+//! |--------|---------------|----------------------------------------------|
+//! | 1      | `Insert`      | `key u64, value u64`                         |
+//! | 2      | `InsertBatch` | `count u32, count × (key u64, value u64)`    |
+//! | 3      | `Get`         | `key u64`                                    |
+//! | 4      | `Delete`      | `key u64`                                    |
+//! | 5      | `Range`       | `start u64, end u64 (inclusive), limit u32`  |
+//! | 6      | `Stats`       | —                                            |
+//!
+//! ## Reply bodies
+//!
+//! Status `0` is success; the payload depends on the request (empty for
+//! `Insert`; `fast u64` — entries ingested through the sorted-run fast
+//! path — for `InsertBatch`; `present u8 [, value u64]` for `Get`/
+//! `Delete`; `count u32, pairs` for `Range`; a fixed stats block for
+//! `Stats`). Non-zero statuses map **one-to-one from the
+//! [`quit_core::Error`] variants** (the whole point of the 0.7.0 error
+//! unification — a networked caller sees the same taxonomy an in-process
+//! caller does), and the payload is a UTF-8 message:
+//!
+//! | status | error variant          |
+//! |--------|------------------------|
+//! | 1      | [`Error::Wal`]         |
+//! | 2      | [`Error::Corruption`]  |
+//! | 3      | [`Error::Poisoned`]    |
+//! | 4      | [`Error::Io`]          |
+//! | 5      | [`Error::Config`]      |
+//! | 6      | [`Error::Shutdown`]    |
+
+use quit_core::{Error, Result};
+use std::io::{Read, Write};
+
+/// Upper bound on a frame body; anything larger is rejected as
+/// [`Error::Corruption`] before allocation (a garbage length prefix must
+/// not OOM the peer).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Hard cap a server applies to [`Request::Range`] results, so one request
+/// cannot materialize the whole keyspace (clients requesting `limit = 0`
+/// or anything larger get this many entries at most).
+pub const MAX_RANGE_RESULTS: u32 = 1 << 20;
+
+/// A decoded client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Insert one pair.
+    Insert {
+        /// Key to insert.
+        key: u64,
+        /// Value to store.
+        value: u64,
+    },
+    /// Insert many pairs in submission order (the server splits the batch
+    /// at shard boundaries, preserving each shard's subsequence order so
+    /// sorted runs survive the split).
+    InsertBatch {
+        /// Pairs in submission order.
+        entries: Vec<(u64, u64)>,
+    },
+    /// Point lookup.
+    Get {
+        /// Key to look up.
+        key: u64,
+    },
+    /// Delete one key.
+    Delete {
+        /// Key to delete.
+        key: u64,
+    },
+    /// Inclusive range scan, capped at `limit` entries
+    /// (`0` means [`MAX_RANGE_RESULTS`]).
+    Range {
+        /// First key of the scan (inclusive).
+        start: u64,
+        /// Last key of the scan (inclusive).
+        end: u64,
+        /// Result cap (`0` = server maximum).
+        limit: u32,
+    },
+    /// Service-wide counters, aggregated across every shard.
+    Stats,
+}
+
+/// The stats block a [`Request::Stats`] reply carries: the counters the
+/// sortedness argument is *about*, summed across shards.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Entries resident across all shards.
+    pub len: u64,
+    /// Inserts that rode the poℓe fast path.
+    pub fast_inserts: u64,
+    /// Inserts that paid a full top-down descent.
+    pub top_inserts: u64,
+    /// WAL append calls across all shard logs.
+    pub wal_appends: u64,
+    /// WAL fsyncs across all shard logs (group commit batches these).
+    pub wal_fsyncs: u64,
+    /// Number of shards serving.
+    pub shards: u32,
+}
+
+impl ServiceStats {
+    /// Fraction of inserts that avoided a top-down descent.
+    pub fn fastpath_rate(&self) -> f64 {
+        let total = self.fast_inserts + self.top_inserts;
+        if total == 0 {
+            return 0.0;
+        }
+        self.fast_inserts as f64 / total as f64
+    }
+}
+
+/// A decoded server reply (the success payloads; failures travel as
+/// [`Error`] through [`read_reply`]'s `Result`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// `Insert` acknowledged (durable per the server's configured level).
+    Inserted,
+    /// `InsertBatch` acknowledged; `fast` entries rode the sorted-run
+    /// fast path across all shards the batch touched.
+    BatchInserted {
+        /// Fast-path entry count for the batch.
+        fast: u64,
+    },
+    /// `Get` result.
+    Got(Option<u64>),
+    /// `Delete` result (previous value, if the key existed).
+    Deleted(Option<u64>),
+    /// `Range` result in global key order.
+    Entries(Vec<(u64, u64)>),
+    /// `Stats` result.
+    Stats(ServiceStats),
+}
+
+/// Wire status for an [`Error`] (`0` is reserved for success).
+pub fn status_code(e: &Error) -> u8 {
+    match e {
+        Error::Wal(_) => 1,
+        Error::Corruption(_) => 2,
+        Error::Poisoned => 3,
+        Error::Io(_) => 4,
+        Error::Config(_) => 5,
+        Error::Shutdown => 6,
+        // `Error` is #[non_exhaustive]; future variants travel as 255 and
+        // decode to a Corruption-kind error naming the unknown code.
+        _ => 255,
+    }
+}
+
+fn status_error(code: u8, msg: String) -> Error {
+    match code {
+        1 => Error::Wal(msg),
+        2 => Error::Corruption(msg),
+        3 => Error::Poisoned,
+        4 => Error::Io(std::io::Error::other(msg)),
+        5 => Error::Config(msg),
+        6 => Error::Shutdown,
+        other => Error::corruption(format!("unknown wire status {other}: {msg}")),
+    }
+}
+
+// ---- little-endian cursor helpers --------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.buf.len());
+        let end = end.ok_or_else(|| Error::corruption("truncated frame body"))?;
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn done(&self) -> Result<()> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(Error::corruption("trailing bytes in frame body"))
+        }
+    }
+}
+
+fn pairs(c: &mut Cursor<'_>) -> Result<Vec<(u64, u64)>> {
+    let count = c.u32()? as usize;
+    // The count must be consistent with the frame length before we trust
+    // it for an allocation.
+    if count.checked_mul(16).is_none_or(|b| b > c.buf.len() - c.at) {
+        return Err(Error::corruption("pair count exceeds frame body"));
+    }
+    (0..count).map(|_| Ok((c.u64()?, c.u64()?))).collect()
+}
+
+fn put_pairs(out: &mut Vec<u8>, entries: &[(u64, u64)]) {
+    put_u32(out, entries.len() as u32);
+    for &(k, v) in entries {
+        put_u64(out, k);
+        put_u64(out, v);
+    }
+}
+
+// ---- frame I/O ---------------------------------------------------------
+
+/// Reads one frame body; `Ok(None)` on clean EOF at a frame boundary.
+fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if !(8..=MAX_FRAME).contains(&len) {
+        return Err(Error::corruption(format!(
+            "frame length {len} out of range"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+/// Encodes a request frame (length prefix included).
+pub fn encode_request(req_id: u64, req: &Request) -> Vec<u8> {
+    let mut body = Vec::with_capacity(32);
+    put_u64(&mut body, req_id);
+    match req {
+        Request::Insert { key, value } => {
+            body.push(1);
+            put_u64(&mut body, *key);
+            put_u64(&mut body, *value);
+        }
+        Request::InsertBatch { entries } => {
+            body.push(2);
+            put_pairs(&mut body, entries);
+        }
+        Request::Get { key } => {
+            body.push(3);
+            put_u64(&mut body, *key);
+        }
+        Request::Delete { key } => {
+            body.push(4);
+            put_u64(&mut body, *key);
+        }
+        Request::Range { start, end, limit } => {
+            body.push(5);
+            put_u64(&mut body, *start);
+            put_u64(&mut body, *end);
+            put_u32(&mut body, *limit);
+        }
+        Request::Stats => body.push(6),
+    }
+    let mut frame = Vec::with_capacity(4 + body.len());
+    put_u32(&mut frame, body.len() as u32);
+    frame.extend_from_slice(&body);
+    frame
+}
+
+/// Writes a request frame to `w` (no flush — pipelining batches flushes).
+pub fn write_request(w: &mut impl Write, req_id: u64, req: &Request) -> Result<()> {
+    let frame = encode_request(req_id, req);
+    w.write_all(&frame)?;
+    Ok(())
+}
+
+/// Reads the next request; `Ok(None)` on clean client disconnect.
+pub fn read_request(r: &mut impl Read) -> Result<Option<(u64, Request)>> {
+    let Some(body) = read_frame(r)? else {
+        return Ok(None);
+    };
+    let mut c = Cursor::new(&body);
+    let req_id = c.u64()?;
+    let req = match c.u8()? {
+        1 => Request::Insert {
+            key: c.u64()?,
+            value: c.u64()?,
+        },
+        2 => Request::InsertBatch {
+            entries: pairs(&mut c)?,
+        },
+        3 => Request::Get { key: c.u64()? },
+        4 => Request::Delete { key: c.u64()? },
+        5 => Request::Range {
+            start: c.u64()?,
+            end: c.u64()?,
+            limit: c.u32()?,
+        },
+        6 => Request::Stats,
+        op => return Err(Error::corruption(format!("unknown opcode {op}"))),
+    };
+    c.done()?;
+    Ok(Some((req_id, req)))
+}
+
+/// Encodes a reply frame (length prefix included).
+pub fn encode_reply(req_id: u64, reply: &Result<Reply>) -> Vec<u8> {
+    let mut body = Vec::with_capacity(32);
+    put_u64(&mut body, req_id);
+    match reply {
+        Ok(ok) => {
+            body.push(0);
+            match ok {
+                Reply::Inserted => {}
+                Reply::BatchInserted { fast } => put_u64(&mut body, *fast),
+                Reply::Got(v) | Reply::Deleted(v) => {
+                    // Got and Deleted share an encoding; the client knows
+                    // which it asked for. A discriminating byte keeps the
+                    // decode unambiguous anyway.
+                    match v {
+                        Some(v) => {
+                            body.push(1);
+                            put_u64(&mut body, *v);
+                        }
+                        None => body.push(0),
+                    }
+                }
+                Reply::Entries(entries) => put_pairs(&mut body, entries),
+                Reply::Stats(s) => {
+                    put_u64(&mut body, s.len);
+                    put_u64(&mut body, s.fast_inserts);
+                    put_u64(&mut body, s.top_inserts);
+                    put_u64(&mut body, s.wal_appends);
+                    put_u64(&mut body, s.wal_fsyncs);
+                    put_u32(&mut body, s.shards);
+                }
+            }
+        }
+        Err(e) => {
+            body.push(status_code(e));
+            body.extend_from_slice(e.to_string().as_bytes());
+        }
+    }
+    let mut frame = Vec::with_capacity(4 + body.len());
+    put_u32(&mut frame, body.len() as u32);
+    frame.extend_from_slice(&body);
+    frame
+}
+
+/// What the client expects a reply to decode as (replies are not
+/// self-describing beyond the status byte).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplyShape {
+    /// Expect [`Reply::Inserted`].
+    Inserted,
+    /// Expect [`Reply::BatchInserted`].
+    BatchInserted,
+    /// Expect [`Reply::Got`].
+    Got,
+    /// Expect [`Reply::Deleted`].
+    Deleted,
+    /// Expect [`Reply::Entries`].
+    Entries,
+    /// Expect [`Reply::Stats`].
+    Stats,
+}
+
+impl Request {
+    /// The reply shape this request produces.
+    pub fn reply_shape(&self) -> ReplyShape {
+        match self {
+            Request::Insert { .. } => ReplyShape::Inserted,
+            Request::InsertBatch { .. } => ReplyShape::BatchInserted,
+            Request::Get { .. } => ReplyShape::Got,
+            Request::Delete { .. } => ReplyShape::Deleted,
+            Request::Range { .. } => ReplyShape::Entries,
+            Request::Stats => ReplyShape::Stats,
+        }
+    }
+}
+
+/// Reads the next reply. The outer `Result` is transport/decode failure;
+/// the inner one is the server-reported status (an [`Error`] rebuilt from
+/// the wire status code). `shape` tells the decoder what success payload
+/// to expect for this `req_id`.
+pub fn read_reply(
+    r: &mut impl Read,
+    shape: impl FnOnce(u64) -> Result<ReplyShape>,
+) -> Result<(u64, Result<Reply>)> {
+    let body = read_frame(r)?.ok_or(Error::Shutdown)?;
+    let mut c = Cursor::new(&body);
+    let req_id = c.u64()?;
+    let status = c.u8()?;
+    if status != 0 {
+        let msg = String::from_utf8_lossy(c.take(body.len() - c.at)?).into_owned();
+        return Ok((req_id, Err(status_error(status, msg))));
+    }
+    let reply = match shape(req_id)? {
+        ReplyShape::Inserted => Reply::Inserted,
+        ReplyShape::BatchInserted => Reply::BatchInserted { fast: c.u64()? },
+        shape @ (ReplyShape::Got | ReplyShape::Deleted) => {
+            let v = match c.u8()? {
+                0 => None,
+                1 => Some(c.u64()?),
+                other => {
+                    return Err(Error::corruption(format!("bad presence byte {other}")));
+                }
+            };
+            if shape == ReplyShape::Got {
+                Reply::Got(v)
+            } else {
+                Reply::Deleted(v)
+            }
+        }
+        ReplyShape::Entries => Reply::Entries(pairs(&mut c)?),
+        ReplyShape::Stats => Reply::Stats(ServiceStats {
+            len: c.u64()?,
+            fast_inserts: c.u64()?,
+            top_inserts: c.u64()?,
+            wal_appends: c.u64()?,
+            wal_fsyncs: c.u64()?,
+            shards: c.u32()?,
+        }),
+    };
+    c.done()?;
+    Ok((req_id, Ok(reply)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let frame = encode_request(42, &req);
+        let mut r = &frame[..];
+        let (id, back) = read_request(&mut r).unwrap().unwrap();
+        assert_eq!(id, 42);
+        assert_eq!(back, req);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Insert { key: 7, value: 9 });
+        roundtrip_request(Request::InsertBatch {
+            entries: vec![(1, 2), (3, 4), (u64::MAX, 0)],
+        });
+        roundtrip_request(Request::Get { key: u64::MAX });
+        roundtrip_request(Request::Delete { key: 0 });
+        roundtrip_request(Request::Range {
+            start: 5,
+            end: 500,
+            limit: 128,
+        });
+        roundtrip_request(Request::Stats);
+    }
+
+    fn roundtrip_reply(reply: Reply, shape: ReplyShape) -> Reply {
+        let frame = encode_reply(9, &Ok(reply));
+        let mut r = &frame[..];
+        let (id, back) = read_reply(&mut r, |_| Ok(shape)).unwrap();
+        assert_eq!(id, 9);
+        back.unwrap()
+    }
+
+    #[test]
+    fn replies_roundtrip() {
+        assert_eq!(
+            roundtrip_reply(Reply::Inserted, ReplyShape::Inserted),
+            Reply::Inserted
+        );
+        assert_eq!(
+            roundtrip_reply(Reply::BatchInserted { fast: 77 }, ReplyShape::BatchInserted),
+            Reply::BatchInserted { fast: 77 }
+        );
+        assert_eq!(
+            roundtrip_reply(Reply::Got(Some(5)), ReplyShape::Got),
+            Reply::Got(Some(5))
+        );
+        assert_eq!(
+            roundtrip_reply(Reply::Got(None), ReplyShape::Got),
+            Reply::Got(None)
+        );
+        let entries = vec![(1, 10), (2, 20)];
+        assert_eq!(
+            roundtrip_reply(Reply::Entries(entries.clone()), ReplyShape::Entries),
+            Reply::Entries(entries)
+        );
+        let s = ServiceStats {
+            len: 1,
+            fast_inserts: 2,
+            top_inserts: 3,
+            wal_appends: 4,
+            wal_fsyncs: 5,
+            shards: 6,
+        };
+        assert_eq!(
+            roundtrip_reply(Reply::Stats(s), ReplyShape::Stats),
+            Reply::Stats(s)
+        );
+    }
+
+    #[test]
+    fn every_error_variant_survives_the_wire() {
+        let errs = vec![
+            Error::wal("segment gone"),
+            Error::corruption("bad crc"),
+            Error::Poisoned,
+            Error::Io(std::io::Error::other("disk on fire")),
+            Error::config("zero shards"),
+            Error::Shutdown,
+        ];
+        for e in errs {
+            let kind = e.kind();
+            let frame = encode_reply(3, &Err(e));
+            let mut r = &frame[..];
+            let (id, back) = read_reply(&mut r, |_| Ok(ReplyShape::Inserted)).unwrap();
+            assert_eq!(id, 3);
+            assert_eq!(back.unwrap_err().kind(), kind, "status code must map 1:1");
+        }
+    }
+
+    #[test]
+    fn garbage_length_prefix_is_rejected_before_allocation() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(u32::MAX).to_le_bytes());
+        frame.extend_from_slice(&[0u8; 16]);
+        let mut r = &frame[..];
+        let err = read_request(&mut r).unwrap_err();
+        assert_eq!(err.kind(), "corruption");
+    }
+
+    #[test]
+    fn lying_pair_count_is_rejected() {
+        // An InsertBatch body claiming 1M pairs but carrying none.
+        let mut body = Vec::new();
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.push(2);
+        body.extend_from_slice(&1_000_000u32.to_le_bytes());
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&body);
+        let mut r = &frame[..];
+        assert_eq!(read_request(&mut r).unwrap_err().kind(), "corruption");
+    }
+
+    #[test]
+    fn clean_eof_is_none_mid_frame_eof_is_error() {
+        let mut empty: &[u8] = &[];
+        assert!(read_request(&mut empty).unwrap().is_none());
+        let frame = encode_request(1, &Request::Stats);
+        let mut torn = &frame[..frame.len() - 1];
+        assert_eq!(read_request(&mut torn).unwrap_err().kind(), "io");
+    }
+}

@@ -1,0 +1,228 @@
+//! End-to-end tests over real sockets: pipelining, read-your-writes,
+//! cross-shard requests, the wire error taxonomy, concurrent clients,
+//! and durable restart on file-backed shard WALs.
+
+use quit_service::{Client, Reply, Request, Server, ServiceConfig};
+
+fn start(config: ServiceConfig) -> Server {
+    let (server, _) = Server::start_in_memory(config, "127.0.0.1:0").unwrap();
+    server
+}
+
+#[test]
+fn sync_roundtrip_all_ops() {
+    let server = start(ServiceConfig::small(3));
+    let mut c = Client::connect(server.local_addr()).unwrap();
+
+    c.insert(10, 100).unwrap();
+    assert_eq!(c.get(10).unwrap(), Some(100));
+    assert_eq!(c.get(11).unwrap(), None);
+
+    let entries: Vec<(u64, u64)> = (0..1000u64).map(|k| (k * 3, k)).collect();
+    c.insert_batch(&entries).unwrap();
+
+    assert_eq!(c.delete(10).unwrap(), Some(100));
+    assert_eq!(c.delete(10).unwrap(), None);
+
+    // Range spanning the whole keyspace (crosses every shard boundary).
+    let got = c.range(0, u64::MAX, 0).unwrap();
+    assert_eq!(got.len(), 1000);
+    assert!(got.windows(2).all(|w| w[0].0 < w[1].0), "globally sorted");
+    // Limited range truncates in key order.
+    let got = c.range(0, u64::MAX, 10).unwrap();
+    assert_eq!(got.len(), 10);
+    assert_eq!(got[9].0, 27);
+
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.len, 1000);
+    assert_eq!(stats.shards, 3);
+
+    drop(c);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn pipelined_burst_coalesces_and_replies_to_every_id() {
+    let server = start(ServiceConfig::small(4));
+    let mut c = Client::connect(server.local_addr()).unwrap();
+
+    // 5000 near-sorted single inserts, all in flight before one reply is
+    // read: the server-side batcher must coalesce them into per-shard
+    // runs yet still answer each id individually.
+    let mut ids = Vec::new();
+    for i in 0..5000u64 {
+        let key = i.wrapping_mul(u64::MAX / 5000);
+        ids.push(c.send(&Request::Insert { key, value: i }).unwrap());
+    }
+    c.flush().unwrap();
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..ids.len() {
+        let (id, reply) = c.recv().unwrap();
+        assert_eq!(reply.unwrap(), Reply::Inserted);
+        assert!(seen.insert(id), "duplicate reply for id {id}");
+    }
+    assert_eq!(seen.len(), ids.len());
+    assert_eq!(c.pending(), 0);
+
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.len, 5000);
+    // The whole point: a pipelined near-sorted stream must ride each
+    // shard's fast path, not pay 5000 top-down descents.
+    assert!(
+        stats.fastpath_rate() > 0.9,
+        "pipelined sorted inserts must stay on the fast path, rate {}",
+        stats.fastpath_rate()
+    );
+    // And coalescing must reach the WAL too: appends count records (all
+    // 5000 are logged), but each buffered run commits as one group, so
+    // fsyncs stay far below one-per-key.
+    assert_eq!(stats.wal_appends, 5000);
+    assert!(
+        stats.wal_fsyncs < 1000,
+        "batcher must coalesce WAL commits, got {} fsyncs",
+        stats.wal_fsyncs
+    );
+
+    drop(c);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn reads_observe_writes_from_the_same_connection() {
+    let server = start(ServiceConfig::small(2));
+    let mut c = Client::connect(server.local_addr()).unwrap();
+
+    // Pipeline inserts and a dependent get in one burst, no intermediate
+    // reply reads: the router must flush buffered inserts before the get.
+    let mut ids = Vec::new();
+    for k in 0..100u64 {
+        ids.push(
+            c.send(&Request::Insert {
+                key: k,
+                value: k + 1,
+            })
+            .unwrap(),
+        );
+    }
+    let get_id = c.send(&Request::Get { key: 57 }).unwrap();
+    c.flush().unwrap();
+    let mut got = None;
+    for _ in 0..ids.len() + 1 {
+        let (id, reply) = c.recv().unwrap();
+        if id == get_id {
+            got = Some(reply.unwrap());
+        }
+    }
+    assert_eq!(got, Some(Reply::Got(Some(58))), "read-your-writes");
+
+    drop(c);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn concurrent_clients_partition_cleanly() {
+    let server = start(ServiceConfig::small(4));
+    let addr = server.local_addr();
+    let per_client = 2000u64;
+    let clients = 8u64;
+    std::thread::scope(|s| {
+        for t in 0..clients {
+            s.spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                // Interleaved key stripes: each client's stream is sorted.
+                let mut ids = Vec::new();
+                for i in 0..per_client {
+                    let key = (i * clients + t).wrapping_mul(u64::MAX / (per_client * clients));
+                    ids.push(c.send(&Request::Insert { key, value: t }).unwrap());
+                }
+                c.flush().unwrap();
+                for _ in ids {
+                    c.recv().unwrap().1.unwrap();
+                }
+            });
+        }
+    });
+    let mut c = Client::connect(addr).unwrap();
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.len, per_client * clients);
+    drop(c);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn wire_errors_carry_the_unified_taxonomy() {
+    // Config errors surface before any socket is bound.
+    let err = match Server::start_in_memory(ServiceConfig::small(0), "127.0.0.1:0") {
+        Ok(_) => panic!("zero shards must be rejected"),
+        Err(e) => e,
+    };
+    assert_eq!(err.kind(), "config");
+
+    // A malformed frame (bad opcode) earns a corruption status on the
+    // wire, reported on request id 0.
+    let server = start(ServiceConfig::small(1));
+    use std::io::{Read, Write};
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&9u32.to_le_bytes());
+    frame.extend_from_slice(&77u64.to_le_bytes());
+    frame.push(200); // no such opcode
+    raw.write_all(&frame).unwrap();
+    // [len u32][req_id u64][status u8][message…]
+    let mut hdr = [0u8; 4];
+    raw.read_exact(&mut hdr).unwrap();
+    let mut body = vec![0u8; u32::from_le_bytes(hdr) as usize];
+    raw.read_exact(&mut body).unwrap();
+    assert!(body.len() > 9, "error reply carries a message");
+    assert_eq!(&body[0..8], &0u64.to_le_bytes(), "decode errors use id 0");
+    assert_eq!(body[8], 2, "corruption status code");
+    drop(raw);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn file_backed_shards_recover_after_restart() {
+    let root = std::env::temp_dir().join(format!(
+        "quit-service-e2e-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    let config = ServiceConfig::small(3);
+
+    let (server, reports) = Server::start_dir(&root, config.clone(), "127.0.0.1:0").unwrap();
+    assert!(reports.iter().all(|r| r.recovered_lsn == 0), "fresh start");
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let entries: Vec<(u64, u64)> = (0..3000u64)
+        .map(|k| (k.wrapping_mul(u64::MAX / 3000), k))
+        .collect();
+    c.insert_batch(&entries).unwrap();
+    c.delete(entries[7].0).unwrap();
+    drop(c);
+    server.shutdown().unwrap();
+
+    // Same directories, new process-lifetime: every acked write must be
+    // back, each shard recovered from its own WAL directory.
+    let (server, reports) = Server::start_dir(&root, config, "127.0.0.1:0").unwrap();
+    assert!(reports.iter().any(|r| r.recovered_lsn > 0), "wal replayed");
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.len, 2999);
+    assert_eq!(c.get(entries[7].0).unwrap(), None);
+    assert_eq!(c.get(entries[8].0).unwrap(), Some(8));
+    drop(c);
+    server.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn shard_dirs_follow_the_sharded_layout() {
+    let root = std::env::temp_dir().join(format!("quit-service-layout-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let (server, _) = Server::start_dir(&root, ServiceConfig::small(2), "127.0.0.1:0").unwrap();
+    drop(Client::connect(server.local_addr()).unwrap());
+    server.shutdown().unwrap();
+    assert!(root.join("shard-0000").is_dir());
+    assert!(root.join("shard-0001").is_dir());
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -102,11 +102,11 @@ pub struct CrashReport {
     pub max_recovered: u64,
 }
 
-fn io_div(stage: &'static str, e: std::io::Error) -> Divergence {
+fn io_div(stage: &'static str, e: quit_core::Error) -> Divergence {
     Divergence {
         family: "Durable<BpTree>",
         op_index: usize::MAX,
-        detail: format!("{stage}: io error: {e}"),
+        detail: format!("{stage}: {} error: {e}", e.kind()),
     }
 }
 

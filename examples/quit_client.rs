@@ -1,0 +1,90 @@
+//! Command-line client for the `quit_server` example.
+//!
+//! ```sh
+//! cargo run --release --example quit_client -- 127.0.0.1:7878 load 100000
+//! cargo run --release --example quit_client -- 127.0.0.1:7878 get 42
+//! cargo run --release --example quit_client -- 127.0.0.1:7878 range 0 1000
+//! cargo run --release --example quit_client -- 127.0.0.1:7878 stats
+//! ```
+//!
+//! `load N` demonstrates what the service is for: it pipelines N
+//! near-sorted single inserts without waiting for replies, letting the
+//! server coalesce them into per-shard sorted runs — then prints the
+//! server-side fast-path rate it earned.
+
+use quick_insertion_tree::bods::BodsSpec;
+use quick_insertion_tree::quit_service::{Client, Reply, Request, Result};
+
+fn main() -> Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, cmd) = match args.split_first() {
+        Some((addr, rest)) if !rest.is_empty() => (addr.clone(), rest.to_vec()),
+        _ => {
+            eprintln!(
+                "usage: quit_client ADDR <get K | insert K V | delete K | \
+                 range LO HI [LIMIT] | load N | stats>"
+            );
+            return Ok(());
+        }
+    };
+
+    let mut client = Client::connect(&addr)?;
+    let int = |s: &String| s.parse::<u64>().expect("arguments must be u64");
+
+    match cmd[0].as_str() {
+        "get" => println!("{:?}", client.get(int(&cmd[1]))?),
+        "insert" => {
+            client.insert(int(&cmd[1]), int(&cmd[2]))?;
+            println!("ok");
+        }
+        "delete" => println!("{:?}", client.delete(int(&cmd[1]))?),
+        "range" => {
+            let limit = cmd.get(3).map(&int).unwrap_or(10);
+            let entries = client.range(int(&cmd[1]), int(&cmd[2]), limit as u32)?;
+            for (k, v) in &entries {
+                println!("{k} => {v}");
+            }
+            println!("({} entries)", entries.len());
+        }
+        "load" => {
+            let n = int(&cmd[1]) as usize;
+            // A 3%-disordered stream spread across the shard keyspace.
+            let keys = BodsSpec::new(n, 0.03, 1.0).with_seed(42).generate();
+            let scale = u64::MAX / n.max(1) as u64;
+            let t0 = std::time::Instant::now();
+            for (seq, &k) in keys.iter().enumerate() {
+                client.send(&Request::Insert {
+                    key: k.wrapping_mul(scale),
+                    value: seq as u64,
+                })?;
+            }
+            client.flush()?;
+            while client.pending() > 0 {
+                let (_, reply) = client.recv()?;
+                assert_eq!(reply?, Reply::Inserted);
+            }
+            let dt = t0.elapsed();
+            let stats = client.stats()?;
+            println!(
+                "loaded {n} keys in {dt:?} ({:.0} inserts/s), server fast-path rate {:.1}%",
+                n as f64 / dt.as_secs_f64(),
+                stats.fastpath_rate() * 100.0
+            );
+        }
+        "stats" => {
+            let s = client.stats()?;
+            println!(
+                "len={} shards={} fast={} top={} wal_appends={} wal_fsyncs={} fast-path {:.1}%",
+                s.len,
+                s.shards,
+                s.fast_inserts,
+                s.top_inserts,
+                s.wal_appends,
+                s.wal_fsyncs,
+                s.fastpath_rate() * 100.0
+            );
+        }
+        other => eprintln!("unknown command {other}"),
+    }
+    Ok(())
+}

@@ -8,11 +8,36 @@
 //! * [`quit_concurrent`] — the lock-crabbing concurrent tree (§4.5).
 //! * [`quit_durability`] — segmented WAL with group commit, sorted
 //!   snapshots, and crash recovery for any `SortedIndex`.
+//! * [`quit_service`] — the sharded, pipelined TCP key-value service
+//!   over `Durable<ConcurrentTree>`.
 //! * [`sware`] — the SWARE SA-B+-tree baseline.
 //! * [`bods`] — K–L-sortedness workload generation and measurement.
 //! * [`quit_testkit`] — the differential fuzzing & shrinking oracle
 //!   (workload generation + model replay across all families, plus the
 //!   crash-recovery differential mode).
+//!
+//! All fallible façade APIs return [`Result`] with the unified
+//! [`Error`] taxonomy from `quit_core` — the only error type this crate
+//! exports.
+//!
+//! ## The [`Quit`] handle
+//!
+//! For embedding without picking crates apart, [`Quit`] bundles the
+//! common deployment — a durable concurrent tree on a directory — behind
+//! one `open()`:
+//!
+//! ```
+//! use quick_insertion_tree::Quit;
+//!
+//! let dir = std::env::temp_dir().join(format!("quit-doc-{}", std::process::id()));
+//! let db = Quit::open(&dir)?;
+//! db.insert(7, 700);
+//! assert_eq!(db.get(7), Some(700));
+//! assert_eq!(db.delete(7), Some(700));
+//! # drop(db);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), quick_insertion_tree::Error>(())
+//! ```
 
 #![warn(missing_docs)]
 
@@ -20,5 +45,183 @@ pub use bods;
 pub use quit_concurrent;
 pub use quit_core;
 pub use quit_durability;
+pub use quit_service;
 pub use quit_testkit;
 pub use sware;
+
+pub use quit_core::{Error, Result};
+
+use quit_concurrent::{ConcConfig, ConcRangeIter, ConcurrentTree};
+use quit_core::{SortedIndex, StatsSnapshot};
+use quit_durability::{
+    concurrent_builder, DurabilityConfig, Durable, FsStorage, MemStorage, RecoveryReport, Storage,
+};
+use std::ops::RangeBounds;
+use std::path::Path;
+use std::sync::Arc;
+
+/// The batteries-included handle: a [`Durable`]`<`[`ConcurrentTree`]`>`
+/// over `u64` keys and values, opened on a directory with paper-default
+/// tree geometry and group-commit durability.
+///
+/// Reads and logged point writes go through `&self` (share a `Quit`
+/// across threads with an [`Arc`]); batch ingest and maintenance
+/// (checkpoint) take `&mut self`. For other key/value types, tree
+/// configs, or storage backends, drop down to [`Durable::open`] — this
+/// handle is the common case, not the whole API. For serving over TCP,
+/// see [`quit_service::Server`].
+pub struct Quit {
+    inner: Durable<ConcurrentTree<u64, u64>>,
+}
+
+impl Quit {
+    /// Opens (or creates) a durable tree in `dir` with paper-default
+    /// geometry and group-commit durability, discarding the recovery
+    /// report. See [`open_with`](Self::open_with) to keep it.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        let (db, _) = Self::open_with(
+            dir,
+            ConcConfig::paper_default(),
+            DurabilityConfig::group_commit(),
+        )?;
+        Ok(db)
+    }
+
+    /// Opens (or creates) a durable tree in `dir` with explicit tree and
+    /// durability configuration, returning the [`RecoveryReport`]
+    /// describing what was replayed.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        tree: ConcConfig,
+        durability: DurabilityConfig,
+    ) -> Result<(Self, RecoveryReport)> {
+        let storage = Arc::new(FsStorage::open(dir.as_ref())?) as Arc<dyn Storage>;
+        let (inner, report) = Durable::open(storage, durability, concurrent_builder(tree))?;
+        Ok((Quit { inner }, report))
+    }
+
+    /// An in-memory handle (WAL records go to a heap buffer; nothing
+    /// survives the process) — tests and scratch work.
+    pub fn in_memory() -> Self {
+        let storage = Arc::new(MemStorage::new()) as Arc<dyn Storage>;
+        let (inner, _) = Durable::open(
+            storage,
+            DurabilityConfig::group_commit(),
+            concurrent_builder(ConcConfig::paper_default()),
+        )
+        .expect("in-memory open cannot fail");
+        Quit { inner }
+    }
+
+    /// Logged insert; at group-commit durability, returns once the record
+    /// is fsync-durable.
+    pub fn insert(&self, key: u64, value: u64) {
+        self.inner.insert_shared(key, value);
+    }
+
+    /// Logged batch insert — one WAL append and one group commit for the
+    /// whole batch; sorted batches ride the tree's sorted-run fast path.
+    /// Returns how many entries were new keys.
+    pub fn insert_batch(&mut self, entries: &[(u64, u64)]) -> usize {
+        self.inner.insert_batch(entries)
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.inner.tree().get(key)
+    }
+
+    /// Logged delete, returning the previous value if the key was
+    /// present.
+    pub fn delete(&self, key: u64) -> Option<u64> {
+        self.inner.delete_shared(key)
+    }
+
+    /// Ordered iteration over `bounds`.
+    pub fn range(&self, bounds: impl RangeBounds<u64>) -> ConcRangeIter<u64, u64> {
+        self.inner.tree().range(bounds)
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.inner.tree().len()
+    }
+
+    /// Whether the tree holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tree + WAL metrics (fast-path counters, WAL appends/fsyncs,
+    /// group-commit and recovery histograms).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.metrics()
+    }
+
+    /// Writes a sorted snapshot and rotates the WAL, so the next open
+    /// recovers from `bulk_load + tiny tail` instead of a long replay.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        self.inner.checkpoint()
+    }
+
+    /// Blocks until everything logged so far is fsync-durable (the
+    /// explicit durability point for `Buffered`-level configs).
+    pub fn commit_all(&self) -> Result<()> {
+        self.inner.commit_all()
+    }
+
+    /// The underlying [`Durable`] wrapper, for APIs the handle doesn't
+    /// surface (WAL watermarks, invariant checks, `into_inner`).
+    pub fn durable(&mut self) -> &mut Durable<ConcurrentTree<u64, u64>> {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_roundtrip_in_memory() {
+        let mut db = Quit::in_memory();
+        db.insert(1, 10);
+        db.insert_batch(&[(2, 20), (3, 30)]);
+        assert_eq!(db.get(2), Some(20));
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.delete(1), Some(10));
+        let all: Vec<(u64, u64)> = db.range(..).collect();
+        assert_eq!(all, vec![(2, 20), (3, 30)]);
+        assert!(!db.is_empty());
+        assert!(db.stats().wal_appends >= 4);
+        db.commit_all().unwrap();
+    }
+
+    #[test]
+    fn handle_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "quit-facade-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut db = Quit::open(&dir).unwrap();
+            db.insert_batch(&(0..500u64).map(|k| (k, k * 2)).collect::<Vec<_>>());
+            db.delete(3);
+            db.checkpoint().unwrap();
+            db.insert(1000, 1);
+        }
+        let (db, report) = Quit::open_with(
+            &dir,
+            ConcConfig::paper_default(),
+            DurabilityConfig::group_commit(),
+        )
+        .unwrap();
+        assert_eq!(report.snapshot_entries, 499);
+        assert_eq!(report.tail_records, 1);
+        assert_eq!(db.len(), 500);
+        assert_eq!(db.get(3), None);
+        assert_eq!(db.get(1000), Some(1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
