@@ -91,8 +91,11 @@ fn main() {
 
     // (b) lookups
     let keys = BodsSpec::new(n, 0.05, 1.0).with_seed(opts.seed).generate();
-    let quit_tree: Arc<ConcurrentTree<u64, u64>> = Arc::new(ConcurrentTree::quit());
-    let classic_tree: Arc<ConcurrentTree<u64, u64>> = Arc::new(ConcurrentTree::classic());
+    let quit_tree: Arc<ConcurrentTree<u64, u64>> =
+        Arc::new(ConcurrentTree::new(ConcConfig::paper_default()));
+    let classic_tree: Arc<ConcurrentTree<u64, u64>> = Arc::new(ConcurrentTree::new(
+        ConcConfig::paper_default().with_pole(false),
+    ));
     for &k in &keys {
         quit_tree.insert(k, k);
         classic_tree.insert(k, k);

@@ -12,6 +12,7 @@
 //! via the fuzz-smoke job; leave this running with a big `--cases` for an
 //! overnight hunt.
 
+use quit_core::{NodeLayoutKind, SearchKind};
 use quit_testkit::{fuzz_cases, replay, OpMix, OracleConfig, WorkloadSpec};
 use std::time::Instant;
 
@@ -47,6 +48,12 @@ fn main() {
             leaf_capacity: 4,
             buffer_capacity: 8,
             check_every: 64,
+            ..OracleConfig::default()
+        },
+        OracleConfig {
+            node_layout: NodeLayoutKind::Gapped,
+            search_kind: SearchKind::Simd,
+            ..OracleConfig::default()
         },
     ];
     let started = Instant::now();

@@ -414,7 +414,15 @@ mod tests {
             &keys,
             1,
         );
-        let conc = ingest_index(quit_concurrent::ConcurrentTree::<u64, u64>::quit, &keys, 1);
+        let conc = ingest_index(
+            || {
+                quit_concurrent::ConcurrentTree::<u64, u64>::new(
+                    quit_concurrent::ConcConfig::paper_default(),
+                )
+            },
+            &keys,
+            1,
+        );
         let mut sware = ingest_index(
             || sware::SaBpTree::<u64, u64>::new(sware::SwareConfig::small(256, 64)),
             &keys,

@@ -12,10 +12,11 @@
 //! throughput under contention).
 //!
 //! ```
-//! use quit_concurrent::ConcurrentTree;
+//! use quit_concurrent::{ConcConfig, ConcurrentTree};
 //! use std::sync::Arc;
 //!
-//! let tree: Arc<ConcurrentTree<u64, u64>> = Arc::new(ConcurrentTree::quit());
+//! let tree: Arc<ConcurrentTree<u64, u64>> =
+//!     Arc::new(ConcurrentTree::new(ConcConfig::paper_default()));
 //! let handles: Vec<_> = (0..4)
 //!     .map(|t| {
 //!         let tree = tree.clone();

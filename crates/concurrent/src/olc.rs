@@ -152,6 +152,12 @@ unsafe fn vec_header<T>(vec: *const Vec<T>) -> (*const T, usize) {
 
 /// `partition_point` over a raw key slice with racing atomic element loads.
 ///
+/// Probes follow the branchless fixed-trip schedule from
+/// [`quit_core::branchless_partition_point_by`] — the scalar data-parallel
+/// search, never the SIMD one: each element must go through
+/// [`atomic_read`], so wide vector loads on this racing memory are off the
+/// table regardless of the tree's configured [`quit_core::SearchKind`].
+///
 /// # Safety
 ///
 /// `ptr..ptr+len` must stay within one live allocation (caller clamps
@@ -164,17 +170,10 @@ unsafe fn raw_partition_point<K: Key>(
     len: usize,
     pred: impl Fn(&K) -> bool,
 ) -> usize {
-    let (mut lo, mut hi) = (0usize, len);
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        let k = atomic_read(ptr.add(mid)).assume_init();
-        if pred(&k) {
-            lo = mid + 1;
-        } else {
-            hi = mid;
-        }
-    }
-    lo
+    quit_core::branchless_partition_point_by(len, |i| {
+        let k = atomic_read(ptr.add(i)).assume_init();
+        pred(&k)
+    })
 }
 
 /// Copies the `Arc` in `slot` without touching its refcount, returning the

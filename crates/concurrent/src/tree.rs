@@ -40,7 +40,10 @@
 use crate::node::{CNode, NodeRef};
 use crate::olc::{self, LeafRead, Routed, Target};
 use crate::sync::{ArcRwLockReadGuard, ArcRwLockWriteGuard, Mutex, RwLock};
-use quit_core::{ikr_bound, Key, MetricsLevel, MetricsRegistry, Stats, StatsSnapshot};
+use quit_core::{
+    ikr_bound, Key, MetricsLevel, MetricsRegistry, NodeLayoutKind, SearchKind, SlotInsert, Stats,
+    StatsSnapshot,
+};
 use std::ops::{Bound, RangeBounds};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -73,6 +76,14 @@ pub struct ConcConfig {
     /// Restarts an optimistic operation tolerates before falling back to
     /// the pessimistic path (the exponential-backoff budget).
     pub olc_max_restarts: u32,
+    /// Physical leaf layout (same semantics as
+    /// [`quit_core::TreeConfig::node_layout`]): `Dense` is the bit-for-bit
+    /// paper path, `Gapped` absorbs near-sorted inserts without shifting.
+    pub node_layout: NodeLayoutKind,
+    /// Intra-node search strategy for latched reads and writes (the
+    /// latch-free OLC descent always uses the branchless scalar search —
+    /// SIMD loads must not race writers).
+    pub search_kind: SearchKind,
 }
 
 /// Default optimistic restart budget. Backoff doubles per restart, so the
@@ -93,6 +104,8 @@ impl ConcConfig {
             metrics_level: MetricsLevel::default(),
             olc_enabled: true,
             olc_max_restarts: DEFAULT_OLC_MAX_RESTARTS,
+            node_layout: NodeLayoutKind::Dense,
+            search_kind: SearchKind::Binary,
         }
     }
 
@@ -107,6 +120,8 @@ impl ConcConfig {
             metrics_level: MetricsLevel::default(),
             olc_enabled: true,
             olc_max_restarts: DEFAULT_OLC_MAX_RESTARTS,
+            node_layout: NodeLayoutKind::Dense,
+            search_kind: SearchKind::Binary,
         }
     }
 
@@ -169,6 +184,20 @@ impl ConcConfig {
     /// Builder-style override of the optimistic restart budget.
     pub fn with_olc_max_restarts(mut self, budget: u32) -> Self {
         self.olc_max_restarts = budget;
+        self
+    }
+
+    /// Builder-style override of the physical leaf layout (mirrors
+    /// [`quit_core::TreeConfig::with_node_layout`]).
+    pub fn with_node_layout(mut self, layout: NodeLayoutKind) -> Self {
+        self.node_layout = layout;
+        self
+    }
+
+    /// Builder-style override of the intra-node search strategy (mirrors
+    /// [`quit_core::TreeConfig::with_search_kind`]).
+    pub fn with_search_kind(mut self, kind: SearchKind) -> Self {
+        self.search_kind = kind;
         self
     }
 
@@ -244,16 +273,6 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
             len: AtomicUsize::new(0),
             retired: Mutex::new(Vec::new()),
         }
-    }
-
-    /// Concurrent QuIT with paper geometry.
-    pub fn quit() -> Self {
-        Self::new(ConcConfig::paper_default())
-    }
-
-    /// Concurrent classical B+-tree with paper geometry.
-    pub fn classic() -> Self {
-        Self::new(ConcConfig::paper_default().with_pole(false))
     }
 
     /// Entries in the tree.
@@ -358,6 +377,7 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
             let CNode::Leaf {
                 keys,
                 vals,
+                gaps,
                 low,
                 high,
                 ..
@@ -373,13 +393,22 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
                 restarts += 1;
                 continue;
             }
-            if keys.len() >= self.config.leaf_capacity {
+            if keys.len() - gaps.count() >= self.config.leaf_capacity {
                 drop(g);
                 return Err(value);
             }
-            let pos = keys.partition_point(|k| *k <= key);
-            keys.insert(pos, key);
-            vals.insert(pos, value);
+            match quit_core::insert_at(
+                self.config.search_kind,
+                keys,
+                vals,
+                gaps,
+                key,
+                value,
+                self.config.leaf_capacity,
+            ) {
+                SlotInsert::Done(_) => {}
+                SlotInsert::Full => unreachable!("live occupancy checked above"),
+            }
             let (target_low, target_high) = (*low, *high);
             let target_len = keys.len();
             drop(g);
@@ -435,6 +464,7 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
         let CNode::Leaf {
             keys,
             vals,
+            gaps,
             low,
             high,
             ..
@@ -447,12 +477,21 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
         if !in_range {
             return FastAttempt::NotCovered(value);
         }
-        if keys.len() >= self.config.leaf_capacity {
+        if keys.len() - gaps.count() >= self.config.leaf_capacity {
             return FastAttempt::PoleFull(value);
         }
-        let pos = keys.partition_point(|k| *k <= key);
-        keys.insert(pos, key);
-        vals.insert(pos, value);
+        match quit_core::insert_at(
+            self.config.search_kind,
+            keys,
+            vals,
+            gaps,
+            key,
+            value,
+            self.config.leaf_capacity,
+        ) {
+            SlotInsert::Done(_) => {}
+            SlotInsert::Full => unreachable!("live occupancy checked above"),
+        }
         if fp.q.is_none_or(|q| key < q) {
             fp.q = Some(key);
         }
@@ -466,7 +505,11 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
 
     fn node_unsafe_for_insert(&self, n: &CNode<K, V>) -> bool {
         match n {
-            CNode::Leaf { keys, .. } => keys.len() >= self.config.leaf_capacity,
+            // Live occupancy: a gapped leaf with free fillers can still
+            // absorb the insert without splitting.
+            CNode::Leaf { keys, gaps, .. } => {
+                keys.len() - gaps.count() >= self.config.leaf_capacity
+            }
             CNode::Internal { keys, .. } => keys.len() >= self.config.internal_capacity,
         }
     }
@@ -487,7 +530,7 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
             let child = match &*guard {
                 CNode::Leaf { .. } => break,
                 CNode::Internal { keys, children } => {
-                    let i = keys.partition_point(|k| *k <= key);
+                    let i = quit_core::search_internal(self.config.search_kind, keys, key);
                     children[i].clone()
                 }
             };
@@ -540,23 +583,50 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
             drop(root_guard);
         }
 
-        if let CNode::Leaf { keys, vals, .. } = &mut *guard {
-            if keys.len() == keys.capacity() {
-                // Absorb-overflow growth (uniform-key leaf past its pinned
-                // reservation): optimistic readers may hold raw pointers
-                // into the current buffers, so swap in doubled buffers and
-                // retire the old allocations instead of reallocating.
-                let mut new_keys = Vec::with_capacity(keys.capacity() * 2);
-                let mut new_vals = Vec::with_capacity(vals.capacity().max(1) * 2);
-                new_keys.append(keys);
-                new_vals.append(vals);
-                let old_keys = std::mem::replace(keys, new_keys);
-                let old_vals = std::mem::replace(vals, new_vals);
-                self.retired.lock().push((old_keys, old_vals));
+        if let CNode::Leaf {
+            keys, vals, gaps, ..
+        } = &mut *guard
+        {
+            if keys.len() - gaps.count() >= self.config.leaf_capacity {
+                // Absorb-overflow (uniform-key leaf that cannot split, so
+                // `split_leaf` returned `None`): such a leaf is dense —
+                // gaps only exist below live capacity — and grows
+                // physically past the configured capacity.
+                debug_assert!(gaps.is_dense(), "overfull leaves are dense");
+                if keys.len() == keys.capacity() {
+                    // Growth past the pinned reservation: optimistic
+                    // readers may hold raw pointers into the current
+                    // buffers, so swap in doubled buffers and retire the
+                    // old allocations instead of reallocating.
+                    let mut new_keys = Vec::with_capacity(keys.capacity() * 2);
+                    let mut new_vals = Vec::with_capacity(vals.capacity().max(1) * 2);
+                    new_keys.append(keys);
+                    new_vals.append(vals);
+                    let old_keys = std::mem::replace(keys, new_keys);
+                    let old_vals = std::mem::replace(vals, new_vals);
+                    self.retired.lock().push((old_keys, old_vals));
+                }
+                let pos = quit_core::upper_bound(self.config.search_kind, keys, key);
+                keys.insert(pos, key);
+                vals.insert(pos, value);
+            } else {
+                // In-capacity insert: gap-aware, bounded shift. `insert_at`
+                // never grows the physical array past `leaf_capacity`
+                // (at physical capacity it reuses a gap or reports full),
+                // so the pinned `capacity + 1` reservation never reallocates.
+                match quit_core::insert_at(
+                    self.config.search_kind,
+                    keys,
+                    vals,
+                    gaps,
+                    key,
+                    value,
+                    self.config.leaf_capacity,
+                ) {
+                    SlotInsert::Done(_) => {}
+                    SlotInsert::Full => unreachable!("live occupancy checked above"),
+                }
             }
-            let pos = keys.partition_point(|k| *k <= key);
-            keys.insert(pos, key);
-            vals.insert(pos, value);
         } else {
             unreachable!("descent ends at a leaf");
         }
@@ -601,6 +671,7 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
         let CNode::Leaf {
             keys,
             vals,
+            gaps,
             next,
             high,
             ..
@@ -608,6 +679,9 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
         else {
             unreachable!("split_leaf on a leaf");
         };
+        // Splits only run at live == capacity, which forces zero gaps, so
+        // physical slot indices below are live indices.
+        debug_assert!(gaps.is_dense(), "split target must be dense (full)");
         let mid = keys.len() / 2;
         let cut = (mid..keys.len())
             .find(|&m| keys[m - 1] < keys[m])
@@ -624,11 +698,43 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
         let (mut right_keys, mut right_vals) = CNode::leaf_buffers(pinned);
         right_keys.extend(keys.drain(cut..));
         right_vals.extend(vals.drain(cut..));
+        let mut right_gaps = quit_core::GapMap::new();
         let sep = right_keys[0];
         let q = keys[0];
+        if self.config.node_layout == NodeLayoutKind::Gapped {
+            // Gap placement from the IKR prediction (mirrors the core
+            // tree): the left node's prefix is frozen in-order history;
+            // stragglers of a near-sorted stream land just below the
+            // separator, so spread `⌊√cap⌋` fillers over its upper half.
+            // `regap` caps the physical length at `leaf_capacity`, within
+            // the pinned `capacity + 1` reservation — no reallocation
+            // under optimistic readers. The right (poℓe) node grows by
+            // appends and needs no gaps.
+            let cap = self.config.leaf_capacity;
+            let want = (cap as f64).sqrt().floor() as usize;
+            let region = keys.len() / 2;
+            quit_core::regap(keys, vals, gaps, region, want, cap);
+            // Interior right nodes take straggler traffic too; the
+            // rightmost leaf (`high == None`) is the append frontier and
+            // must stay dense so the in-order stream keeps its push fast
+            // path. Seeding happens before publication, so the buffers
+            // settle within their pinned reservation (`regap` never grows
+            // past `leaf_capacity`) before any reader can see them.
+            if high.is_some() {
+                quit_core::regap(
+                    &mut right_keys,
+                    &mut right_vals,
+                    &mut right_gaps,
+                    0,
+                    want,
+                    cap,
+                );
+            }
+        }
         let right = CNode::Leaf {
             keys: right_keys,
             vals: right_vals,
+            gaps: right_gaps,
             next: next.take(),
             low: Some(sep),
             high: *high,
@@ -655,7 +761,7 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
                     let CNode::Internal { keys, children } = &mut *parent_guard else {
                         unreachable!("ancestors are internal");
                     };
-                    let idx = keys.partition_point(|k| *k <= sep);
+                    let idx = quit_core::upper_bound(self.config.search_kind, keys, sep);
                     keys.insert(idx, sep);
                     children.insert(idx + 1, right);
                     if keys.len() <= self.config.internal_capacity {
@@ -797,7 +903,7 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
                 let child = match &*read_guard {
                     CNode::Leaf { .. } => break,
                     CNode::Internal { keys, children } => {
-                        let i = keys.partition_point(|k| *k <= key);
+                        let i = quit_core::search_internal(self.config.search_kind, keys, key);
                         children[i].clone()
                     }
                 };
@@ -809,6 +915,7 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
             let CNode::Leaf {
                 keys,
                 vals,
+                gaps,
                 low,
                 high,
                 ..
@@ -821,10 +928,28 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
                 drop(guard);
                 continue; // raced a split of this leaf; re-descend
             }
-            let pos = keys.partition_point(|k| *k < key);
+            let pos = quit_core::lower_bound(self.config.search_kind, keys, key);
             return if pos < keys.len() && keys[pos] == key {
-                keys.remove(pos);
-                let v = vals.remove(pos);
+                // The lower bound may land on a gap filler; the filler rule
+                // (a gap copies its nearest live right neighbour) puts the
+                // matching live slot at the next live position.
+                let live = gaps
+                    .next_live(pos, keys.len())
+                    .expect("last physical slot is always live");
+                debug_assert_eq!(keys[live], key);
+                // A leaf that absorbed uniform-key overflow (physical length
+                // past `leaf_capacity`) must stay dense — the split and
+                // absorb paths assert so — hence `pinned = 0` makes
+                // `remove_at` shift instead of gap-ify there. Regular
+                // leaves never exceed the pinned reservation, so every
+                // slot sits below `capacity + 1` and gap-ifies in place.
+                let pinned = if keys.len() > self.config.leaf_capacity {
+                    0
+                } else {
+                    self.config.leaf_capacity + 1
+                };
+                let v =
+                    quit_core::remove_at(self.config.node_layout, keys, vals, gaps, live, pinned);
                 drop(guard);
                 self.len.fetch_sub(1, Ordering::Relaxed);
                 self.metrics.counters.deletes.bump_shared();
@@ -908,7 +1033,14 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
                                     let in_range = low.is_none_or(|b| key >= b)
                                         && high.is_none_or(|b| key < b);
                                     if in_range {
-                                        let pos = keys.partition_point(|k| *k < key);
+                                        // A hit on a gap filler is value-
+                                        // correct: fillers copy the pair of
+                                        // their nearest live right slot.
+                                        let pos = quit_core::lower_bound(
+                                            self.config.search_kind,
+                                            keys,
+                                            key,
+                                        );
                                         return (pos < keys.len() && keys[pos] == key)
                                             .then(|| vals[pos].clone());
                                     }
@@ -941,7 +1073,9 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
         loop {
             let child = match &*guard {
                 CNode::Leaf { keys, vals, .. } => {
-                    let pos = keys.partition_point(|k| *k < key);
+                    // Gap fillers are value-correct copies, so no bitmap
+                    // consultation is needed for a point read.
+                    let pos = quit_core::lower_bound(self.config.search_kind, keys, key);
                     if pos < keys.len() && keys[pos] == key {
                         return Some(vals[pos].clone());
                     }
@@ -951,7 +1085,7 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
                     return None;
                 }
                 CNode::Internal { keys, children } => {
-                    let i = keys.partition_point(|k| *k <= key);
+                    let i = quit_core::search_internal(self.config.search_kind, keys, key);
                     children[i].clone()
                 }
             };
@@ -1040,8 +1174,8 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
             }
             let pos = match start {
                 Bound::Unbounded => 0,
-                Bound::Included(s) => keys.partition_point(|k| *k < s),
-                Bound::Excluded(s) => keys.partition_point(|k| *k <= s),
+                Bound::Included(s) => quit_core::lower_bound(self.config.search_kind, keys, s),
+                Bound::Excluded(s) => quit_core::upper_bound(self.config.search_kind, keys, s),
             };
             return Some(ConcRangeIter {
                 leaf: Some(guard),
@@ -1071,7 +1205,7 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
                     let i = match start {
                         Bound::Unbounded => 0,
                         Bound::Included(s) | Bound::Excluded(s) => {
-                            keys.partition_point(|k| *k <= s)
+                            quit_core::search_internal(self.config.search_kind, keys, s)
                         }
                     };
                     children[i].clone()
@@ -1081,8 +1215,12 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
         }
         let pos = match (&*guard, start) {
             (_, Bound::Unbounded) => 0,
-            (CNode::Leaf { keys, .. }, Bound::Included(s)) => keys.partition_point(|k| *k < s),
-            (CNode::Leaf { keys, .. }, Bound::Excluded(s)) => keys.partition_point(|k| *k <= s),
+            (CNode::Leaf { keys, .. }, Bound::Included(s)) => {
+                quit_core::lower_bound(self.config.search_kind, keys, s)
+            }
+            (CNode::Leaf { keys, .. }, Bound::Excluded(s)) => {
+                quit_core::upper_bound(self.config.search_kind, keys, s)
+            }
             _ => unreachable!("descent ends at a leaf"),
         };
         ConcRangeIter {
@@ -1150,7 +1288,11 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
         while let Some(l) = leaf {
             let guard = l.read();
             let CNode::Leaf {
-                keys, vals, next, ..
+                keys,
+                vals,
+                gaps,
+                next,
+                ..
             } = &*guard
             else {
                 return Err("leaf chain reached an internal node".to_string());
@@ -1162,13 +1304,41 @@ impl<K: Key, V: Clone> ConcurrentTree<K, V> {
                     vals.len()
                 ));
             }
+            if self.config.node_layout == NodeLayoutKind::Dense && !gaps.is_dense() {
+                return Err("leaf holds gaps under the dense layout".to_string());
+            }
+            if !keys.is_empty() && gaps.is_gap(keys.len() - 1) {
+                return Err("leaf ends in a gap (trailing gaps must trim)".to_string());
+            }
+            let mut in_range_gaps = 0usize;
+            for i in 0..keys.len() {
+                if gaps.is_gap(i) {
+                    in_range_gaps += 1;
+                    // Strict filler rule: every gap slot copies its nearest
+                    // live right neighbour, so its key equals the next
+                    // slot's key (gap or live).
+                    if keys[i] != keys[i + 1] {
+                        return Err(format!(
+                            "gap slot {i} filler key {:?} != next slot key {:?}",
+                            keys[i],
+                            keys[i + 1]
+                        ));
+                    }
+                }
+            }
+            if in_range_gaps != gaps.count() {
+                return Err(format!(
+                    "gap bitmap counts {} but {in_range_gaps} gaps lie in range",
+                    gaps.count()
+                ));
+            }
             if let (Some(prev), Some(first)) = (prev_last, keys.first()) {
                 if *first < prev {
                     return Err(format!("leaf chain regresses: {first:?} follows {prev:?}"));
                 }
             }
             prev_last = keys.last().copied().or(prev_last);
-            total += keys.len();
+            total += keys.len() - gaps.count();
             leaf = next.clone();
         }
         if exact_len && total != self.len() {
@@ -1328,12 +1498,22 @@ impl<K: Key, V: Clone> Iterator for ConcRangeIter<K, V> {
         loop {
             let guard = self.leaf.as_ref()?;
             let CNode::Leaf {
-                keys, vals, next, ..
+                keys,
+                vals,
+                gaps,
+                next,
+                ..
             } = &**guard
             else {
                 unreachable!("chain holds leaves");
             };
             if self.pos < keys.len() {
+                // Yield live slots only: a gap filler duplicates the entry
+                // of its nearest live right neighbour.
+                if gaps.is_gap(self.pos) {
+                    self.pos += 1;
+                    continue;
+                }
                 let k = keys[self.pos];
                 let admitted = match self.end {
                     Bound::Included(e) => k <= e,
@@ -1711,6 +1891,103 @@ mod tests {
     }
 
     #[test]
+    fn layout_builder_knobs_roundtrip() {
+        let c = ConcConfig::paper_default()
+            .with_node_layout(NodeLayoutKind::Gapped)
+            .with_search_kind(SearchKind::Simd);
+        assert_eq!(c.node_layout, NodeLayoutKind::Gapped);
+        assert_eq!(c.search_kind, SearchKind::Simd);
+        c.assert_valid();
+        // Defaults stay pinned to the bit-for-bit paper path.
+        let d = ConcConfig::paper_default();
+        assert_eq!(d.node_layout, NodeLayoutKind::Dense);
+        assert_eq!(d.search_kind, SearchKind::Binary);
+    }
+
+    #[test]
+    fn gapped_layout_matches_dense_in_both_latch_modes() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(0x6A99_ED01);
+        let ops: Vec<(u64, u64)> = (0..6000)
+            .map(|_| (rng.gen_range(0..2_500u64), rng.next_u64()))
+            .collect();
+        for olc in [true, false] {
+            let results: Vec<_> = [
+                (NodeLayoutKind::Dense, SearchKind::Binary),
+                (NodeLayoutKind::Gapped, SearchKind::Branchless),
+                (NodeLayoutKind::Gapped, SearchKind::Simd),
+            ]
+            .into_iter()
+            .map(|(layout, kind)| {
+                let t: ConcurrentTree<u64, u64> = ConcurrentTree::new(
+                    ConcConfig::small(8)
+                        .with_olc(olc)
+                        .with_node_layout(layout)
+                        .with_search_kind(kind),
+                );
+                for &(k, v) in &ops {
+                    t.insert(k, v);
+                    if k % 3 == 0 {
+                        t.delete(k / 2);
+                    }
+                }
+                t.check_consistency().unwrap();
+                let gets: Vec<_> = (0..2_500).step_by(13).map(|k| t.get(k)).collect();
+                (t.len(), t.collect_all(), t.range(100..900).count(), gets)
+            })
+            .collect();
+            assert_eq!(results[0], results[1], "branchless diverged (olc={olc})");
+            assert_eq!(results[0], results[2], "simd diverged (olc={olc})");
+        }
+    }
+
+    #[test]
+    fn gapped_layout_survives_concurrent_churn() {
+        use rand::prelude::*;
+        for olc in [true, false] {
+            let t: StdArc<ConcurrentTree<u64, u64>> = StdArc::new(ConcurrentTree::new(
+                ConcConfig::small(16)
+                    .with_olc(olc)
+                    .with_node_layout(NodeLayoutKind::Gapped)
+                    .with_search_kind(SearchKind::Branchless),
+            ));
+            let threads = 4;
+            std::thread::scope(|s| {
+                for tid in 0..threads {
+                    let t = t.clone();
+                    s.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(0x6A99_ED02 + tid as u64);
+                        // Near-sorted per-thread stream with stragglers and
+                        // deletes: exactly the workload gaps absorb.
+                        for i in 0..4_000u64 {
+                            let k = tid as u64 * 1_000_000
+                                + if rng.gen_bool(0.1) && i > 50 {
+                                    i * 4 - rng.gen_range(1..200u64)
+                                } else {
+                                    i * 4
+                                };
+                            t.insert(k, k);
+                            if i % 5 == 0 {
+                                t.delete(tid as u64 * 1_000_000 + i * 2);
+                            }
+                            if i % 7 == 0 {
+                                let _ = t.get(tid as u64 * 1_000_000 + i);
+                            }
+                        }
+                    });
+                }
+            });
+            t.check_consistency().unwrap();
+            let all = t.collect_all();
+            assert_eq!(all.len(), t.len());
+            assert!(
+                all.windows(2).all(|w| w[0].0 <= w[1].0),
+                "global order (olc={olc})"
+            );
+        }
+    }
+
+    #[test]
     fn olc_counters_stay_zero_when_disabled() {
         let t: ConcurrentTree<u64, u64> = ConcurrentTree::new(ConcConfig::small(8).with_olc(false));
         for k in 0..2_000u64 {
@@ -1884,7 +2161,8 @@ mod tests {
     #[test]
     fn near_sorted_concurrent_stream() {
         let keys = bods::BodsSpec::new(20_000, 0.05, 1.0).generate();
-        let t: StdArc<ConcurrentTree<u64, u64>> = StdArc::new(ConcurrentTree::quit());
+        let t: StdArc<ConcurrentTree<u64, u64>> =
+            StdArc::new(ConcurrentTree::new(ConcConfig::paper_default()));
         let chunk = keys.len() / 4;
         let handles: Vec<_> = keys
             .chunks(chunk)

@@ -1,6 +1,7 @@
 //! Tree configuration: node geometry, IKR tuning, the QuIT feature set,
 //! and the telemetry level.
 
+use crate::layout::{NodeLayoutKind, SearchKind};
 use crate::metrics::MetricsLevel;
 
 /// Which rule locates the variable-split point `l` inside a full poℓe node
@@ -66,6 +67,15 @@ pub struct TreeConfig {
     /// latency histograms). See [`MetricsLevel`]; the default records
     /// counters and the window but never reads the clock.
     pub metrics_level: MetricsLevel,
+    /// Physical slot layout of leaf nodes. [`NodeLayoutKind::Dense`]
+    /// (default) is the bit-for-bit paper-reproduction path;
+    /// [`NodeLayoutKind::Gapped`] absorbs near-sorted inserts without
+    /// shifting by keeping bitmap-tracked gap slots inside leaves.
+    pub node_layout: NodeLayoutKind,
+    /// Intra-node search algorithm. [`SearchKind::Binary`] (default) is the
+    /// paper's `partition_point`; `Branchless` and `Simd` are the
+    /// data-parallel alternatives. All kinds return identical positions.
+    pub search_kind: SearchKind,
 }
 
 impl TreeConfig {
@@ -83,6 +93,8 @@ impl TreeConfig {
             bulk_fill: 1.0,
             page_size_bytes: 4096,
             metrics_level: MetricsLevel::default(),
+            node_layout: NodeLayoutKind::Dense,
+            search_kind: SearchKind::Binary,
         }
     }
 
@@ -100,6 +112,8 @@ impl TreeConfig {
             bulk_fill: 1.0,
             page_size_bytes: 4096,
             metrics_level: MetricsLevel::default(),
+            node_layout: NodeLayoutKind::Dense,
+            search_kind: SearchKind::Binary,
         }
     }
 
@@ -191,6 +205,18 @@ impl TreeConfig {
     /// Builder-style override of the telemetry level.
     pub fn with_metrics_level(mut self, level: MetricsLevel) -> Self {
         self.metrics_level = level;
+        self
+    }
+
+    /// Builder-style override of the leaf slot layout.
+    pub fn with_node_layout(mut self, layout: NodeLayoutKind) -> Self {
+        self.node_layout = layout;
+        self
+    }
+
+    /// Builder-style override of the intra-node search algorithm.
+    pub fn with_search_kind(mut self, kind: SearchKind) -> Self {
+        self.search_kind = kind;
         self
     }
 
@@ -292,6 +318,23 @@ mod tests {
         assert_eq!(c.bulk_fill, 1.0, "default packs leaves full");
         let c = c.with_bulk_fill(0.7);
         assert_eq!(c.bulk_fill, 0.7);
+        c.assert_valid();
+    }
+
+    #[test]
+    fn layout_and_search_knobs() {
+        let c = TreeConfig::paper_default();
+        assert_eq!(
+            c.node_layout,
+            NodeLayoutKind::Dense,
+            "paper path by default"
+        );
+        assert_eq!(c.search_kind, SearchKind::Binary, "paper path by default");
+        let c = c
+            .with_node_layout(NodeLayoutKind::Gapped)
+            .with_search_kind(SearchKind::Simd);
+        assert_eq!(c.node_layout, NodeLayoutKind::Gapped);
+        assert_eq!(c.search_kind, SearchKind::Simd);
         c.assert_valid();
     }
 

@@ -14,6 +14,41 @@ use crate::stats::Stats;
 use crate::tree::BpTree;
 
 impl<K: Key, V> BpTree<K, V> {
+    #[inline]
+    pub(crate) fn leaf_len(&self, id: NodeId) -> usize {
+        self.arena.get(id).as_leaf().len()
+    }
+
+    /// §4.3 reset strategy (and delete-path repair): re-point poℓe at
+    /// `leaf` with separator bounds `[low, high)`, adopting its chain
+    /// predecessor as `poℓe_prev`.
+    pub(crate) fn repoint_pole(&mut self, leaf: NodeId, low: Option<K>, high: Option<K>) {
+        self.fp.leaf = Some(leaf);
+        self.fp.min = low;
+        self.fp.max = high;
+        self.fp.size = self.leaf_len(leaf);
+        let prev = self.arena.get(leaf).as_leaf().prev;
+        self.fp.prev_id = prev;
+        match prev {
+            Some(p) => {
+                let pl = self.arena.get(p).as_leaf();
+                self.fp.prev_min = pl.keys.first().copied();
+                self.fp.prev_size = pl.len();
+            }
+            None => {
+                self.fp.prev_min = None;
+                self.fp.prev_size = 0;
+            }
+        }
+        self.fp.pole_next = None;
+        self.fp.fails = 0;
+    }
+}
+
+// Ingestion requires `V: Clone` because gapped leaves materialize filler
+// copies (split-time regap, gap-ifying removals); the dense paper path
+// never clones, but the bound is uniform so layouts stay swappable.
+impl<K: Key, V: Clone> BpTree<K, V> {
     /// Inserts an entry. Duplicate keys are allowed (this is an index, not a
     /// map); the new entry lands after existing equal keys.
     pub fn insert(&mut self, key: K, value: V) {
@@ -30,19 +65,25 @@ impl<K: Key, V> BpTree<K, V> {
         self.metrics.record_insert_latency(t0);
     }
 
-    #[inline]
-    pub(crate) fn leaf_len(&self, id: NodeId) -> usize {
-        self.arena.get(id).as_leaf().len()
-    }
-
     /// Places the entry in `leaf_id` at its sorted slot (after duplicates).
     /// The leaf must have room.
     pub(crate) fn insert_entry(&mut self, leaf_id: NodeId, key: K, value: V) {
+        let kind = self.config.search_kind;
+        let cap = self.config.leaf_capacity;
         let leaf = self.arena.get_mut(leaf_id).as_leaf_mut();
-        debug_assert!(leaf.len() < self.config.leaf_capacity);
-        let pos = leaf.keys.partition_point(|k| *k <= key);
-        leaf.keys.insert(pos, key);
-        leaf.vals.insert(pos, value);
+        debug_assert!(leaf.len() < cap);
+        match crate::layout::insert_at(
+            kind,
+            &mut leaf.keys,
+            &mut leaf.vals,
+            &mut leaf.gaps,
+            key,
+            value,
+            cap,
+        ) {
+            crate::layout::SlotInsert::Done(_) => {}
+            crate::layout::SlotInsert::Full => unreachable!("caller ensures room"),
+        }
     }
 
     /// Classical root-to-leaf insert. Returns the accepting leaf and its
@@ -206,31 +247,6 @@ impl<K: Key, V> BpTree<K, V> {
         true
     }
 
-    /// §4.3 reset strategy (and delete-path repair): re-point poℓe at
-    /// `leaf` with separator bounds `[low, high)`, adopting its chain
-    /// predecessor as `poℓe_prev`.
-    pub(crate) fn repoint_pole(&mut self, leaf: NodeId, low: Option<K>, high: Option<K>) {
-        self.fp.leaf = Some(leaf);
-        self.fp.min = low;
-        self.fp.max = high;
-        self.fp.size = self.leaf_len(leaf);
-        let prev = self.arena.get(leaf).as_leaf().prev;
-        self.fp.prev_id = prev;
-        match prev {
-            Some(p) => {
-                let pl = self.arena.get(p).as_leaf();
-                self.fp.prev_min = pl.keys.first().copied();
-                self.fp.prev_size = pl.len();
-            }
-            None => {
-                self.fp.prev_min = None;
-                self.fp.prev_size = 0;
-            }
-        }
-        self.fp.pole_next = None;
-        self.fp.fails = 0;
-    }
-
     // ------------------------------------------------------------------
     // Full poℓe: Algorithm 2 (QuIT) or the default split of Algorithm 1
     // ------------------------------------------------------------------
@@ -362,7 +378,17 @@ impl<K: Key, V> BpTree<K, V> {
             // (§5.2.1 tuning note) bounds how packed the left node is left,
             // trading space for fewer future split propagations.
             let fill_cap = ((plen as f64) * self.config.max_variable_fill).floor() as usize;
-            let pos = (l - 1).min(plen - 1).min(fill_cap.max(def));
+            let mut pos = (l - 1).min(plen - 1).min(fill_cap.max(def));
+            if self.config.node_layout == crate::layout::NodeLayoutKind::Gapped {
+                // Leave ⌊√cap⌋ slots of physical headroom in the left
+                // node: the tight variable fill would hand split-time
+                // regap `cap - pos <= 1` free slots, so the leaves a
+                // near-sorted stream leaves behind — exactly where IKR
+                // predicts stragglers to land — would have no absorption
+                // capacity at all.
+                let want = (self.config.leaf_capacity as f64).sqrt().floor() as usize;
+                pos = pos.min(plen.saturating_sub(want).max(def));
+            }
             let (right, sep) = self.split_leaf_at(pole, pos);
             self.fp.prev_id = Some(pole);
             self.fp.prev_min = Some(q);

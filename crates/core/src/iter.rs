@@ -115,12 +115,8 @@ impl<K: Key, V> BpTree<K, V> {
                     leaf_id = leaf.prev.expect("checked above");
                     leaf_accesses += 1;
                 }
-                let pos = self
-                    .arena
-                    .get(leaf_id)
-                    .as_leaf()
-                    .keys
-                    .partition_point(|k| *k < s);
+                let leaf = self.arena.get(leaf_id).as_leaf();
+                let pos = crate::layout::search_leaf(self.config.search_kind, &leaf.keys, s);
                 (leaf_id, pos, leaf_accesses)
             }
             Bound::Excluded(&s) => {
@@ -133,12 +129,8 @@ impl<K: Key, V> BpTree<K, V> {
                     .counters
                     .lookup_node_accesses
                     .add_shared(node_accesses);
-                let pos = self
-                    .arena
-                    .get(leaf_id)
-                    .as_leaf()
-                    .keys
-                    .partition_point(|k| *k <= s);
+                let leaf = self.arena.get(leaf_id).as_leaf();
+                let pos = crate::layout::upper_bound(self.config.search_kind, &leaf.keys, s);
                 (leaf_id, pos, 1)
             }
         }
@@ -210,14 +202,15 @@ impl<'a, K: Key, V> Iterator for RangeIter<'a, K, V> {
         loop {
             let id = self.leaf?;
             let leaf = self.tree.arena.get(id).as_leaf();
-            if self.pos < leaf.keys.len() {
-                let k = leaf.keys[self.pos];
+            // Gap slots hold filler copies, not entries; yield live slots only.
+            if let Some(live) = leaf.gaps.next_live(self.pos, leaf.keys.len()) {
+                let k = leaf.keys[live];
                 if !end_admits(&k, &self.end) {
                     self.leaf = None;
                     return None;
                 }
-                let item = (k, &leaf.vals[self.pos]);
-                self.pos += 1;
+                let item = (k, &leaf.vals[live]);
+                self.pos = live + 1;
                 return Some(item);
             }
             self.leaf = leaf.next;
@@ -243,9 +236,10 @@ impl<'a, K: Key, V> Iterator for TreeIter<'a, K, V> {
         loop {
             let id = self.leaf?;
             let leaf = self.tree.arena.get(id).as_leaf();
-            if self.pos < leaf.keys.len() {
-                let item = (leaf.keys[self.pos], &leaf.vals[self.pos]);
-                self.pos += 1;
+            // Gap slots hold filler copies, not entries; yield live slots only.
+            if let Some(live) = leaf.gaps.next_live(self.pos, leaf.keys.len()) {
+                let item = (leaf.keys[live], &leaf.vals[live]);
+                self.pos = live + 1;
                 return Some(item);
             }
             self.leaf = leaf.next;

@@ -94,6 +94,10 @@ mod iter;
 // implementors, not unsafe operations — the crate still contains none).
 #[allow(unsafe_code)]
 mod key;
+// `layout` holds the explicitly vectorized (`core::arch`) intra-node
+// search kernels behind runtime feature detection.
+#[allow(unsafe_code)]
+mod layout;
 mod metrics;
 mod node;
 mod ordered;
@@ -113,6 +117,11 @@ pub use fastpath::{FastPathMode, FastPathState};
 pub use ikr::{ikr_bound, is_outlier, split_bound};
 pub use iter::{RangeIter, RangeScan, TreeIter};
 pub use key::{AnyBitPattern, Key, OrderedF64};
+pub use layout::{
+    branchless_partition_point, branchless_partition_point_by, compact, insert_at, lower_bound,
+    regap, remove_at, search_internal, search_leaf, simd_force_disabled, upper_bound, GapMap,
+    NodeLayoutKind, SearchKind, SlotInsert,
+};
 pub use metrics::{
     Counter, FastPathWindow, HistogramSnapshot, LatencyHistogram, MetricsLevel, MetricsRegistry,
     FASTPATH_WINDOW, HISTOGRAM_BUCKETS,

@@ -18,7 +18,7 @@
 
 use crate::workload::Op;
 use quit_concurrent::{ConcConfig, ConcurrentTree};
-use quit_core::{BpTree, SortedIndex, TreeConfig, Variant};
+use quit_core::{BpTree, NodeLayoutKind, SearchKind, SortedIndex, TreeConfig, Variant};
 use std::collections::{BTreeMap, BTreeSet};
 use sware::{SaBpTree, SwareConfig};
 
@@ -35,6 +35,11 @@ pub struct OracleConfig {
     /// Run the structural invariant suites every this many ops (besides
     /// after every batch op and at the end).
     pub check_every: usize,
+    /// Leaf slot layout for every family (the layout is part of the
+    /// workload spec: every suite runs once dense, once gapped).
+    pub node_layout: NodeLayoutKind,
+    /// Intra-node search implementation for every family.
+    pub search_kind: SearchKind,
 }
 
 impl Default for OracleConfig {
@@ -43,7 +48,28 @@ impl Default for OracleConfig {
             leaf_capacity: 8,
             buffer_capacity: 32,
             check_every: 256,
+            node_layout: NodeLayoutKind::Dense,
+            search_kind: SearchKind::Binary,
         }
+    }
+}
+
+impl OracleConfig {
+    /// Same geometry, different node layout / search implementation.
+    pub fn with_layout(mut self, layout: NodeLayoutKind, kind: SearchKind) -> Self {
+        self.node_layout = layout;
+        self.search_kind = kind;
+        self
+    }
+
+    /// Both layout variants of this config, for suites that sweep them.
+    pub fn layout_sweep(&self) -> [OracleConfig; 2] {
+        [
+            self.clone()
+                .with_layout(NodeLayoutKind::Dense, SearchKind::Binary),
+            self.clone()
+                .with_layout(NodeLayoutKind::Gapped, SearchKind::Branchless),
+        ]
     }
 }
 
@@ -254,13 +280,22 @@ impl Family {
 /// Replays `ops` against the model and every family, comparing observable
 /// behaviour op-by-op. Returns the first [`Divergence`], if any.
 pub fn replay(ops: &[Op], config: &OracleConfig) -> Result<ReplayReport, Divergence> {
+    let tree_config = TreeConfig::small(config.leaf_capacity)
+        .with_node_layout(config.node_layout)
+        .with_search_kind(config.search_kind);
+    let mut sware_config = SwareConfig::small(config.buffer_capacity, config.leaf_capacity);
+    sware_config.tree_config = sware_config
+        .tree_config
+        .with_node_layout(config.node_layout)
+        .with_search_kind(config.search_kind);
     let mut families = vec![
-        Family::Quit(Variant::Quit.build(TreeConfig::small(config.leaf_capacity))),
-        Family::Sware(SaBpTree::new(SwareConfig::small(
-            config.buffer_capacity,
-            config.leaf_capacity,
-        ))),
-        Family::Concurrent(ConcurrentTree::new(ConcConfig::small(config.leaf_capacity))),
+        Family::Quit(Variant::Quit.build(tree_config)),
+        Family::Sware(SaBpTree::new(sware_config)),
+        Family::Concurrent(ConcurrentTree::new(
+            ConcConfig::small(config.leaf_capacity)
+                .with_node_layout(config.node_layout)
+                .with_search_kind(config.search_kind),
+        )),
     ];
     let mut model = Model::default();
     let mut report = ReplayReport::default();
@@ -446,7 +481,10 @@ fn check_all(
     Ok(())
 }
 
+// Replay-based unit tests step aside under the injected bugs (the search
+// bug poisons even binary-search configs through the OLC raw descent).
 #[cfg(test)]
+#[cfg(not(feature = "inject-search-bug"))]
 mod tests {
     use super::*;
     #[cfg(not(feature = "inject-split-bug"))]
@@ -513,7 +551,22 @@ mod tests {
                 ..WorkloadSpec::default()
             }
             .generate();
-            replay(&ops, &OracleConfig::default()).unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+            for cfg in OracleConfig::default().layout_sweep() {
+                replay(&ops, &cfg)
+                    .unwrap_or_else(|d| panic!("seed {seed} layout {:?}: {d}", cfg.node_layout));
+            }
         }
+    }
+
+    #[test]
+    fn layout_sweep_covers_both_layouts() {
+        let sweep = OracleConfig::default().layout_sweep();
+        assert_eq!(sweep[0].node_layout, NodeLayoutKind::Dense);
+        assert_eq!(sweep[1].node_layout, NodeLayoutKind::Gapped);
+        // Geometry carries over unchanged.
+        assert_eq!(
+            sweep[1].leaf_capacity,
+            OracleConfig::default().leaf_capacity
+        );
     }
 }

@@ -6,10 +6,11 @@
 //! Scale it up locally with `QUIT_FUZZ_CASES` (each case adds one
 //! seed × knob grid sweep, ~5.5k ops).
 
-// The injected split bug (mutation smoke check) intentionally breaks these
-// properties; cargo's feature unification applies it to the whole test run,
-// so the clean differential suite steps aside. See tests/mutation_smoke.rs.
-#![cfg(not(feature = "inject-split-bug"))]
+// The injected split/search bugs (mutation smoke checks) intentionally
+// break these properties; cargo's feature unification applies them to the
+// whole test run, so the clean differential suite steps aside. See
+// tests/mutation_smoke.rs and tests/search_mutation_smoke.rs.
+#![cfg(not(any(feature = "inject-split-bug", feature = "inject-search-bug")))]
 
 use proptest::prelude::*;
 use quit_testkit::{fuzz_cases, replay, OpMix, OracleConfig, WorkloadSpec, WorkloadStrategy};
@@ -19,7 +20,7 @@ use quit_testkit::{fuzz_cases, replay, OpMix, OracleConfig, WorkloadSpec, Worklo
 const KL_GRID: [(f64, f64); 5] = [(0.0, 1.0), (0.05, 1.0), (0.2, 0.25), (0.5, 1.0), (1.0, 0.1)];
 
 /// ≥ 50k mixed ops per family at fixed seeds, across the K/L grid, two op
-/// mixes, and two tree geometries.
+/// mixes, two tree geometries, and both node layouts.
 #[test]
 fn fixed_seed_soak() {
     let cases = fuzz_cases(10);
@@ -29,6 +30,7 @@ fn fixed_seed_soak() {
             leaf_capacity: 4,
             buffer_capacity: 8,
             check_every: 128,
+            ..OracleConfig::default()
         },
     ];
     let mut total_ops = 0usize;
@@ -47,14 +49,16 @@ fn fixed_seed_soak() {
                 dup_fraction: 0.08,
             };
             let ops = spec.generate();
-            for cfg in &geometries {
-                let report =
-                    replay(&ops, cfg).unwrap_or_else(|d| panic!("case {case} K={k} L={l}: {d}"));
+            for cfg in geometries.iter().flat_map(OracleConfig::layout_sweep) {
+                let report = replay(&ops, &cfg).unwrap_or_else(|d| {
+                    panic!("case {case} K={k} L={l} layout {:?}: {d}", cfg.node_layout)
+                });
                 total_ops += report.ops;
             }
         }
     }
-    // 10 cases × 5 grid points × 2 geometries × 560 ops = 56k per family.
+    // 10 cases × 5 grid points × 2 geometries × 2 layouts × 560 ops
+    // = 112k per family.
     assert!(
         total_ops >= 50_000 || cases < 10,
         "soak must replay ≥ 50k ops per family, got {total_ops}"
@@ -66,20 +70,31 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Freshly sampled workloads (random length, K/L knobs, mix) replay
-    /// clean through the full oracle. On failure this shrinks to a minimal
-    /// op list and persists the seed next to this file.
+    /// clean through the full oracle, under both node layouts. On failure
+    /// this shrinks to a minimal op list and persists the seed next to
+    /// this file.
     #[test]
     fn sampled_workloads_replay_clean(ops in WorkloadStrategy::mixed(400)) {
-        let report = replay(&ops, &OracleConfig::default())
-            .unwrap_or_else(|d| panic!("{d}"));
-        assert_eq!(report.ops, ops.len());
+        for cfg in OracleConfig::default().layout_sweep() {
+            let report = replay(&ops, &cfg)
+                .unwrap_or_else(|d| panic!("layout {:?}: {d}", cfg.node_layout));
+            assert_eq!(report.ops, ops.len());
+        }
     }
 
     /// Same, at the smallest legal geometry where structural edge cases
     /// (splits, merges, root collapse, buffer flushes) fire constantly.
     #[test]
     fn sampled_workloads_replay_clean_tiny_nodes(ops in WorkloadStrategy::ingest_heavy(250)) {
-        let cfg = OracleConfig { leaf_capacity: 4, buffer_capacity: 8, check_every: 32 };
-        replay(&ops, &cfg).unwrap_or_else(|d| panic!("{d}"));
+        let tiny = OracleConfig {
+            leaf_capacity: 4,
+            buffer_capacity: 8,
+            check_every: 32,
+            ..OracleConfig::default()
+        };
+        for cfg in tiny.layout_sweep() {
+            replay(&ops, &cfg)
+                .unwrap_or_else(|d| panic!("layout {:?}: {d}", cfg.node_layout));
+        }
     }
 }

@@ -24,6 +24,7 @@ fn oracle_config() -> OracleConfig {
         leaf_capacity: 4,
         buffer_capacity: 8,
         check_every: 4,
+        ..OracleConfig::default()
     }
 }
 

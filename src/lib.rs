@@ -50,6 +50,7 @@ pub use quit_testkit;
 pub use sware;
 
 pub use quit_core::{Error, Result};
+pub use quit_core::{NodeLayoutKind, SearchKind};
 
 use quit_concurrent::{ConcConfig, ConcRangeIter, ConcurrentTree};
 use quit_core::{SortedIndex, StatsSnapshot};

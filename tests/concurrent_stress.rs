@@ -241,7 +241,8 @@ fn read_heavy_90_10_profile_is_exact() {
 
 #[test]
 fn point_reads_never_miss_committed_keys() {
-    let tree: Arc<ConcurrentTree<u64, u64>> = Arc::new(ConcurrentTree::quit());
+    let tree: Arc<ConcurrentTree<u64, u64>> =
+        Arc::new(ConcurrentTree::new(ConcConfig::paper_default()));
     for k in 0..5_000u64 {
         tree.insert(k * 2, k);
     }
