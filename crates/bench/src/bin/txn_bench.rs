@@ -1,0 +1,210 @@
+//! Transaction overhead benchmark: auto-commit single-op `TxnStore`
+//! inserts priced against raw (non-transactional) `Durable` inserts at
+//! the same durability level, multi-key transaction batching, and an SI
+//! soak whose recorded history is re-verified by the testkit's
+//! snapshot-isolation checker. Dumps everything to `results/txn.json`.
+//!
+//! With `--check`, self-asserts the subsystem's acceptance bars: the
+//! JSON is valid, the soak history has **zero** SI violations, and
+//! single-op transactional overhead at `GroupCommit` (the production
+//! default, where the fsync dominates both sides) stays within 2× of a
+//! raw insert.
+//!
+//! ```sh
+//! cargo run --release -p quit-bench --bin txn_bench -- --check
+//! ```
+//!
+//! Storage is `MemStorage` — the numbers price the MVCC + commit-group
+//! machinery itself (version chains, timestamp allocation, stripe locks,
+//! WAL framing), not a device.
+
+use quit_bench::json_is_valid;
+use quit_concurrent::ConcConfig;
+use quit_durability::{
+    concurrent_builder, DurabilityConfig, DurabilityLevel, Durable, MemStorage, Storage, TxnConfig,
+    TxnStore,
+};
+use quit_testkit::{replay_txn_concurrent, SiSoakSpec};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Args {
+    n: usize,
+    seed: u64,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        n: 200_000,
+        seed: 0x7A_B3CC,
+        check: false,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        let take = |i: usize| argv.get(i + 1).and_then(|v| v.parse::<u64>().ok());
+        match argv[i].as_str() {
+            "--n" => {
+                if let Some(v) = take(i) {
+                    a.n = v as usize;
+                    i += 1;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = take(i) {
+                    a.seed = v;
+                    i += 1;
+                }
+            }
+            "--check" => a.check = true,
+            "--quick" => a.n = a.n.min(50_000),
+            "--help" | "-h" => {
+                eprintln!("options: --n <entries> --seed <u64> --quick --check");
+                std::process::exit(0);
+            }
+            other => eprintln!("ignoring unknown option {other}"),
+        }
+        i += 1;
+    }
+    a
+}
+
+fn main() {
+    let args = parse_args();
+    let n = args.n;
+    let tree = ConcConfig::paper_default();
+
+    // --- Single-op overhead: raw Durable vs auto-commit TxnStore ------
+    // Same keys, same tree family, same durability level; the delta is
+    // the transaction machinery (commit timestamp, version chain, the
+    // extra TxnCommit frame). Three repeats per side, best taken — the
+    // first iteration eats cold caches and allocator warmup for both.
+    const REPEATS: usize = 3;
+    println!("single-op txn overhead (N={n} sorted inserts, MemStorage, best of {REPEATS}):");
+    println!(
+        "  {:<14} {:>12} {:>12} {:>8}",
+        "level", "raw ns/op", "txn ns/op", "ratio"
+    );
+    let mut json = format!("{{\"n\":{n},\"single_op\":[");
+    let mut group_ratio = f64::NAN;
+    for level in [DurabilityLevel::Buffered, DurabilityLevel::GroupCommit] {
+        let mut raw_ns = f64::INFINITY;
+        let mut txn_ns = f64::INFINITY;
+        for _ in 0..REPEATS {
+            let storage = Arc::new(MemStorage::new());
+            let (raw, _) = Durable::open(
+                storage as Arc<dyn Storage>,
+                DurabilityConfig::default().with_level(level),
+                concurrent_builder::<u64, u64>(tree.clone()),
+            )
+            .unwrap();
+            let start = Instant::now();
+            for k in 0..n as u64 {
+                raw.insert_shared(k, k);
+            }
+            raw_ns = raw_ns.min(start.elapsed().as_nanos() as f64 / n as f64);
+            drop(raw);
+
+            let storage = Arc::new(MemStorage::new());
+            let config = TxnConfig::default()
+                .with_tree(tree.clone())
+                .with_durability(DurabilityConfig::default().with_level(level));
+            let (txn, _) = TxnStore::open(storage as Arc<dyn Storage>, config).unwrap();
+            let start = Instant::now();
+            for k in 0..n as u64 {
+                txn.insert(k, k).unwrap();
+            }
+            txn_ns = txn_ns.min(start.elapsed().as_nanos() as f64 / n as f64);
+            assert_eq!(txn.len(), n);
+            drop(txn);
+        }
+        let ratio = txn_ns / raw_ns;
+        if level == DurabilityLevel::GroupCommit {
+            group_ratio = ratio;
+        }
+        println!(
+            "  {:<14} {raw_ns:>12.1} {txn_ns:>12.1} {ratio:>7.2}x",
+            format!("{level:?}")
+        );
+        if !json.ends_with('[') {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"level\":\"{level:?}\",\"raw_ns\":{raw_ns:.1},\"txn_ns\":{txn_ns:.1},\
+             \"ratio\":{ratio:.3}}}"
+        ));
+    }
+    json.push(']');
+
+    // --- Multi-key transactions: commit-group amortization ------------
+    // One commit group (and at GroupCommit one fsync wait) per 4096-key
+    // transaction instead of per key.
+    let storage = Arc::new(MemStorage::new());
+    let config = TxnConfig::default()
+        .with_tree(tree.clone())
+        .with_durability(DurabilityConfig::group_commit());
+    let (store, _) = TxnStore::open(storage as Arc<dyn Storage>, config).unwrap();
+    let entries: Vec<(u64, u64)> = (0..n as u64).map(|k| (k, k)).collect();
+    let start = Instant::now();
+    for chunk in entries.chunks(4096) {
+        let mut txn = store.begin();
+        for &(k, v) in chunk {
+            txn.insert(k, v);
+        }
+        txn.commit().unwrap();
+    }
+    let batch_ns = start.elapsed().as_nanos() as f64 / n as f64;
+    assert_eq!(store.len(), n);
+    println!("4096-key transactions: {batch_ns:.1} ns/key");
+    json.push_str(&format!(",\"batch_txn\":{{\"ns_per_key\":{batch_ns:.1}}}"));
+    drop(store);
+
+    // --- SI soak: the history the bench ran is itself verified --------
+    let spec = SiSoakSpec {
+        threads: 4,
+        txns_per_thread: 1_500,
+        keys: 256,
+        seed: args.seed,
+        ..SiSoakSpec::default()
+    };
+    let start = Instant::now();
+    let soak = replay_txn_concurrent(&spec);
+    let soak_secs = start.elapsed().as_secs_f64();
+    let (violations, detail) = match &soak {
+        Ok(report) => {
+            println!(
+                "SI soak: {} events, {} commits, {} conflicts, 0 violations in {soak_secs:.2} s",
+                report.events, report.stats.commits, report.stats.conflicts
+            );
+            json.push_str(&format!(
+                ",\"si_soak\":{{\"events\":{},\"commits\":{},\"conflicts\":{},\
+                 \"aborts\":{},\"violations\":0,\"secs\":{soak_secs:.2}}}}}",
+                report.events, report.stats.commits, report.stats.conflicts, report.stats.aborts
+            ));
+            (0, String::new())
+        }
+        Err(v) => {
+            println!("SI soak FAILED: {v}");
+            json.push_str(&format!(
+                ",\"si_soak\":{{\"violations\":1,\"detail\":{:?},\"secs\":{soak_secs:.2}}}}}",
+                v.to_string()
+            ));
+            (1, v.to_string())
+        }
+    };
+
+    assert!(json_is_valid(&json), "emitted document must be valid JSON");
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/txn.json", &json).expect("write results/txn.json");
+    println!("wrote results/txn.json ({} bytes)", json.len());
+
+    if args.check {
+        assert_eq!(violations, 0, "SI soak must be violation-free: {detail}");
+        assert!(
+            group_ratio <= 2.0,
+            "single-op txn overhead at GroupCommit is {group_ratio:.2}x, bar is 2x"
+        );
+        println!("check passed: 0 SI violations, GroupCommit overhead {group_ratio:.2}x (bar 2x)");
+    }
+}

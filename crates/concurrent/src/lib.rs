@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+mod mvcc;
 mod node;
 #[allow(unsafe_code)]
 mod olc;
@@ -45,5 +46,6 @@ mod sync;
 pub mod test_hooks;
 mod tree;
 
+pub use mvcc::{MvccTree, StripeGuards, VersionCell, VersionChain};
 pub use node::{CNode, NodeRef};
 pub use tree::{ConcConfig, ConcRangeIter, ConcurrentTree};

@@ -47,6 +47,14 @@ pub enum Error {
     /// The target (service, shard worker, or connection) is shutting down
     /// and no longer accepts work.
     Shutdown,
+    /// A transaction lost a first-committer-wins write-write conflict:
+    /// another transaction committed to one of its write keys after this
+    /// transaction's snapshot was taken. The losing transaction is rolled
+    /// back; retry it on a fresh snapshot.
+    Conflict(String),
+    /// An operation was attempted on a transaction that already aborted
+    /// (explicitly, by conflict, or by a commit-path failure).
+    TxnAborted(String),
 }
 
 impl Error {
@@ -65,6 +73,16 @@ impl Error {
         Error::Config(msg.into())
     }
 
+    /// Convenience constructor for [`Error::Conflict`].
+    pub fn conflict(msg: impl Into<String>) -> Self {
+        Error::Conflict(msg.into())
+    }
+
+    /// Convenience constructor for [`Error::TxnAborted`].
+    pub fn txn_aborted(msg: impl Into<String>) -> Self {
+        Error::TxnAborted(msg.into())
+    }
+
     /// A stable, dependency-free discriminant name (`"wal"`, `"io"`, …) —
     /// what `quit-service` derives its wire status codes from and what
     /// log lines should print.
@@ -76,6 +94,8 @@ impl Error {
             Error::Io(_) => "io",
             Error::Config(_) => "config",
             Error::Shutdown => "shutdown",
+            Error::Conflict(_) => "conflict",
+            Error::TxnAborted(_) => "txn-aborted",
         }
     }
 }
@@ -92,6 +112,8 @@ impl fmt::Display for Error {
             Error::Io(e) => write!(f, "I/O error: {e}"),
             Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
             Error::Shutdown => write!(f, "shutting down"),
+            Error::Conflict(msg) => write!(f, "write-write conflict: {msg}"),
+            Error::TxnAborted(msg) => write!(f, "transaction aborted: {msg}"),
         }
     }
 }
@@ -135,6 +157,16 @@ mod tests {
                 "invalid configuration: 0 shards",
             ),
             (Error::Shutdown, "shutdown", "shutting down"),
+            (
+                Error::conflict("key 7"),
+                "conflict",
+                "write-write conflict: key 7",
+            ),
+            (
+                Error::txn_aborted("user abort"),
+                "txn-aborted",
+                "transaction aborted: user abort",
+            ),
         ];
         for (e, kind, display) in cases {
             assert_eq!(e.kind(), kind);

@@ -139,7 +139,7 @@ impl DurabilityConfig {
         self
     }
 
-    fn tuning(&self) -> WalTuning {
+    pub(crate) fn tuning(&self) -> WalTuning {
         WalTuning {
             segment_bytes: self.segment_bytes,
             buffer_bytes: self.wal_buffer_bytes,
@@ -468,29 +468,45 @@ where
 /// runs through [`SortedIndex::insert_batch`] so the append-mostly tail
 /// rides the sorted-run fast path instead of n point inserts. Returns the
 /// number of records applied.
+///
+/// Transaction records (`WalOp::Txn*`) are skipped: a plain `Durable`
+/// index has no version dimension to apply them to. They only appear in
+/// WALs written by `TxnStore`, whose own recovery path replays them with
+/// commit-atomic semantics; opening such a WAL as a plain `Durable` is a
+/// read of the non-transactional records only.
 pub fn apply_tail<K, V, T>(index: &mut T, tail: &[WalOp<K, V>]) -> usize
 where
     K: Key,
     V: Clone,
     T: SortedIndex<K, V>,
 {
+    let mut applied = 0usize;
     let mut run: Vec<(K, V)> = Vec::new();
     for op in tail {
         match op {
-            WalOp::Insert(k, v) => run.push((*k, v.clone())),
+            WalOp::Insert(k, v) => {
+                run.push((*k, v.clone()));
+                applied += 1;
+            }
             WalOp::Delete(k) => {
                 if !run.is_empty() {
                     index.insert_batch(&run);
                     run.clear();
                 }
                 index.delete(*k);
+                applied += 1;
             }
+            WalOp::TxnBegin(_)
+            | WalOp::TxnWrite(..)
+            | WalOp::TxnDelete(..)
+            | WalOp::TxnCommit(..)
+            | WalOp::TxnAbort(_) => {}
         }
     }
     if !run.is_empty() {
         index.insert_batch(&run);
     }
-    tail.len()
+    applied
 }
 
 /// A [`Durable::open`] builder for [`BpTree`]: bulk-loads the snapshot at

@@ -80,8 +80,16 @@ impl WalCodec for OrderedF64 {
     }
 }
 
-/// One logged mutation. The WAL records exactly the two `SortedIndex`
-/// mutations; lookups and scans are never logged.
+/// One logged mutation. The WAL records the two `SortedIndex`
+/// mutations plus the five transaction records (`Txn*`); lookups and
+/// scans are never logged.
+///
+/// The `Txn*` variants are produced only by `TxnStore`'s commit path,
+/// which appends a whole commit group (`TxnBegin`, the `TxnWrite`/
+/// `TxnDelete` intents, then `TxnCommit`) in one `Wal::append` call —
+/// contiguous LSNs, one flush. Recovery buffers intents per transaction
+/// id and applies them only when the matching `TxnCommit` is seen, so a
+/// crash mid-group replays none of the transaction's writes.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WalOp<K, V> {
     /// `insert(key, value)` — duplicates allowed and preserved in order.
@@ -90,10 +98,29 @@ pub enum WalOp<K, V> {
     /// a miss-delete is harmless (and the `Durable` wrapper always logs
     /// deletes without a read-before-write).
     Delete(K),
+    /// Transaction `tid` starts its commit group.
+    TxnBegin(u64),
+    /// Transaction `tid` intends to write `key = value`.
+    TxnWrite(u64, K, V),
+    /// Transaction `tid` intends to delete `key` (MVCC tombstone).
+    TxnDelete(u64, K),
+    /// Transaction `tid` commits at timestamp `commit_ts`: every buffered
+    /// intent becomes visible atomically at this timestamp on replay.
+    TxnCommit(u64, u64),
+    /// Transaction `tid` aborts; replay discards its buffered intents.
+    /// Never written by the normal commit path (intents are only logged
+    /// once commit is decided) but kept in the format so future
+    /// early-logging strategies stay wire-compatible.
+    TxnAbort(u64),
 }
 
 pub(crate) const KIND_INSERT: u8 = 1;
 pub(crate) const KIND_DELETE: u8 = 2;
+pub(crate) const KIND_TXN_BEGIN: u8 = 3;
+pub(crate) const KIND_TXN_WRITE: u8 = 4;
+pub(crate) const KIND_TXN_DELETE: u8 = 5;
+pub(crate) const KIND_TXN_COMMIT: u8 = 6;
+pub(crate) const KIND_TXN_ABORT: u8 = 7;
 
 /// `len` + `crc` words preceding every payload.
 pub(crate) const FRAME_HEADER: usize = 8;
@@ -152,6 +179,30 @@ pub(crate) fn encode_frame<K: WalCodec, V: WalCodec>(
         WalOp::Delete(k) => {
             out.push(KIND_DELETE);
             k.encode_into(out);
+        }
+        WalOp::TxnBegin(tid) => {
+            out.push(KIND_TXN_BEGIN);
+            tid.encode_into(out);
+        }
+        WalOp::TxnWrite(tid, k, v) => {
+            out.push(KIND_TXN_WRITE);
+            tid.encode_into(out);
+            k.encode_into(out);
+            v.encode_into(out);
+        }
+        WalOp::TxnDelete(tid, k) => {
+            out.push(KIND_TXN_DELETE);
+            tid.encode_into(out);
+            k.encode_into(out);
+        }
+        WalOp::TxnCommit(tid, commit_ts) => {
+            out.push(KIND_TXN_COMMIT);
+            tid.encode_into(out);
+            commit_ts.encode_into(out);
+        }
+        WalOp::TxnAbort(tid) => {
+            out.push(KIND_TXN_ABORT);
+            tid.encode_into(out);
         }
     }
     let payload_at = start + FRAME_HEADER;
@@ -223,6 +274,19 @@ pub(crate) fn decode_frame<K: WalCodec, V: WalCodec>(bytes: &[u8], pos: usize) -
             V::decode_from(&body[K::WIDTH..]),
         ),
         KIND_DELETE if body.len() == K::WIDTH => WalOp::Delete(K::decode_from(body)),
+        KIND_TXN_BEGIN if body.len() == 8 => WalOp::TxnBegin(u64::decode_from(body)),
+        KIND_TXN_WRITE if body.len() == 8 + K::WIDTH + V::WIDTH => WalOp::TxnWrite(
+            u64::decode_from(&body[..8]),
+            K::decode_from(&body[8..8 + K::WIDTH]),
+            V::decode_from(&body[8 + K::WIDTH..]),
+        ),
+        KIND_TXN_DELETE if body.len() == 8 + K::WIDTH => {
+            WalOp::TxnDelete(u64::decode_from(&body[..8]), K::decode_from(&body[8..]))
+        }
+        KIND_TXN_COMMIT if body.len() == 16 => {
+            WalOp::TxnCommit(u64::decode_from(&body[..8]), u64::decode_from(&body[8..]))
+        }
+        KIND_TXN_ABORT if body.len() == 8 => WalOp::TxnAbort(u64::decode_from(body)),
         _ => return FrameStep::Torn("unknown record kind or bad body width"),
     };
     FrameStep::Record {
@@ -279,6 +343,34 @@ mod tests {
         assert_eq!((lsn, op), (8, WalOp::Delete(3)));
         assert!(matches!(
             decode_frame::<u64, u64>(&buf, next),
+            FrameStep::End
+        ));
+    }
+
+    #[test]
+    fn txn_frames_roundtrip() {
+        let ops: Vec<WalOp<u64, u64>> = vec![
+            WalOp::TxnBegin(42),
+            WalOp::TxnWrite(42, 7, 700),
+            WalOp::TxnDelete(42, 9),
+            WalOp::TxnCommit(42, 1001),
+            WalOp::TxnAbort(43),
+        ];
+        let mut buf = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            encode_frame::<u64, u64>(i as u64 + 1, op, &mut buf);
+        }
+        let mut pos = 0;
+        for (i, want) in ops.iter().enumerate() {
+            let FrameStep::Record { lsn, op, next } = decode_frame::<u64, u64>(&buf, pos) else {
+                panic!("txn frame {i} should decode");
+            };
+            assert_eq!(lsn, i as u64 + 1);
+            assert_eq!(&op, want);
+            pos = next;
+        }
+        assert!(matches!(
+            decode_frame::<u64, u64>(&buf, pos),
             FrameStep::End
         ));
     }

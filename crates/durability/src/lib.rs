@@ -62,6 +62,7 @@ mod durable;
 mod frame;
 mod snapshot;
 mod storage;
+mod txn;
 mod wal;
 
 pub use durable::{
@@ -71,4 +72,5 @@ pub use durable::{
 pub use frame::{crc32, WalCodec, WalOp};
 pub use quit_core::{Error, Result};
 pub use storage::{FaultyWriter, FsStorage, MemStorage, Storage};
+pub use txn::{Txn, TxnConfig, TxnStats, TxnStore};
 pub use wal::{Lsn, Wal, WalTuning};

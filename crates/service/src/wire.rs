@@ -153,6 +153,8 @@ pub fn status_code(e: &Error) -> u8 {
         Error::Io(_) => 4,
         Error::Config(_) => 5,
         Error::Shutdown => 6,
+        Error::Conflict(_) => 7,
+        Error::TxnAborted(_) => 8,
         // `Error` is #[non_exhaustive]; future variants travel as 255 and
         // decode to a Corruption-kind error naming the unknown code.
         _ => 255,
@@ -167,6 +169,8 @@ fn status_error(code: u8, msg: String) -> Error {
         4 => Error::Io(std::io::Error::other(msg)),
         5 => Error::Config(msg),
         6 => Error::Shutdown,
+        7 => Error::Conflict(msg),
+        8 => Error::TxnAborted(msg),
         other => Error::corruption(format!("unknown wire status {other}: {msg}")),
     }
 }
@@ -537,6 +541,8 @@ mod tests {
             Error::Io(std::io::Error::other("disk on fire")),
             Error::config("zero shards"),
             Error::Shutdown,
+            Error::conflict("key 7 committed past our snapshot"),
+            Error::txn_aborted("explicit rollback"),
         ];
         for e in errs {
             let kind = e.kind();

@@ -26,12 +26,15 @@
 //! the order it applies them (partition-based checks can never see this).
 
 use crate::oracle::{Divergence, Model};
+use crate::si_checker::{TxnOp, MAX_SLOTS};
 use crate::workload::Op;
 use quit_concurrent::ConcConfig;
-use quit_core::{FastPathMode, SortedIndex, TreeConfig};
+use quit_core::{Error, FastPathMode, SortedIndex, TreeConfig};
 use quit_durability::{
-    bptree_builder, concurrent_builder, DurabilityConfig, Durable, MemStorage, Storage,
+    bptree_builder, concurrent_builder, DurabilityConfig, Durable, MemStorage, Storage, TxnConfig,
+    TxnStore,
 };
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -615,13 +618,240 @@ pub fn replay_crash_contended(spec: &ContendedSpec) -> Result<usize, Divergence>
     Ok(live.len())
 }
 
+/// Crash differential for transactional commit groups: how many cuts to
+/// fuzz and where the fsync floor comes from. The workload itself is a
+/// [`TxnOp`] sequence (see [`crate::TxnWorkloadSpec`]).
+#[derive(Clone, Copy, Debug)]
+pub struct TxnCrashSpec {
+    /// Random WAL byte-prefix cuts to test (plus the empty and full
+    /// images, always).
+    pub cuts: usize,
+    /// Leaf capacity for the version tree (small = interesting
+    /// structure early).
+    pub leaf_capacity: usize,
+    /// `commit_all` (fsync barrier) after every N executed ops
+    /// (`0` = never) — raises the durability floor mid-history.
+    pub commit_every: usize,
+    /// Run a checkpoint after this many executed ops, so cuts also land
+    /// in the snapshot-plus-tail regime.
+    pub checkpoint_at: Option<usize>,
+    /// Seed for cut selection.
+    pub seed: u64,
+}
+
+impl Default for TxnCrashSpec {
+    fn default() -> Self {
+        TxnCrashSpec {
+            cuts: 56,
+            leaf_capacity: 8,
+            commit_every: 32,
+            checkpoint_at: None,
+            seed: 0x7C5_CA57,
+        }
+    }
+}
+
+/// What the transactional crash fuzzer observed on success.
+#[derive(Clone, Copy, Debug)]
+pub struct TxnCrashReport {
+    /// Ops executed.
+    pub ops: usize,
+    /// Transactions that committed (each = one WAL commit group).
+    pub commits: usize,
+    /// Crash points recovered from (`spec.cuts` + empty + full image).
+    pub cuts_tested: usize,
+    /// Cuts where recovery reported a torn tail (mid-frame or
+    /// mid-commit-group cut).
+    pub torn_cuts: usize,
+    /// Commits guaranteed durable by the last fsync barrier.
+    pub floor_commits: usize,
+    /// Smallest commit prefix any cut recovered to.
+    pub min_prefix: usize,
+    /// Largest commit prefix any cut recovered to (the full image must
+    /// reach `commits`).
+    pub max_prefix: usize,
+}
+
+/// Runs a deterministic interleaved-transaction workload against a
+/// durable [`TxnStore`] with a tiny WAL buffer, then re-opens the store
+/// from arbitrary byte prefixes of the append stream and asserts
+/// **commit atomicity across crashes**: every recovered state must equal
+/// the committed state after some prefix of the commit order — a
+/// recovered state containing part of a transaction's write set matches
+/// no prefix and fails. Cuts at or above the durability floor must
+/// recover at least every fsynced commit, and the full image must
+/// recover all of them with no torn tail.
+pub fn replay_txn_crash(ops: &[TxnOp], spec: &TxnCrashSpec) -> Result<TxnCrashReport, Divergence> {
+    let diverge = |detail: String| Divergence {
+        family: "TxnStore (crash)",
+        op_index: usize::MAX,
+        detail,
+    };
+    let io = |stage: &'static str, e: Error| Divergence {
+        family: "TxnStore (crash)",
+        op_index: usize::MAX,
+        detail: format!("{stage}: {e}"),
+    };
+    let config = TxnConfig::default()
+        .with_tree(ConcConfig::small(spec.leaf_capacity).with_olc(true))
+        .with_durability(crash_config())
+        .with_gc_every(0);
+    let storage = Arc::new(MemStorage::new());
+    let (store, _) = TxnStore::open(storage.clone() as Arc<dyn Storage>, config.clone())
+        .map_err(|e| io("open", e))?;
+
+    // Execute the workload, recording the committed state after every
+    // successful commit: `states[j]` is the visible state once the first
+    // j commits (in commit order) have applied, `states[0]` is empty.
+    let mut states: Vec<Vec<(u64, u64)>> = vec![Vec::new()];
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut floor_commits = 0usize;
+    {
+        let mut slots: Vec<Option<quit_durability::Txn<'_, u64, u64>>> =
+            (0..MAX_SLOTS).map(|_| None).collect();
+        let mut shadows: Vec<BTreeMap<u64, Option<u64>>> =
+            (0..MAX_SLOTS).map(|_| BTreeMap::new()).collect();
+        for (i, op) in ops.iter().enumerate() {
+            let s = usize::from(op.slot()) % MAX_SLOTS;
+            // Begin restarts the slot (dropping any occupant aborts it);
+            // every other op implicitly begins on an empty slot.
+            if matches!(*op, TxnOp::Begin(_)) || slots[s].is_none() {
+                slots[s] = Some(store.begin());
+                shadows[s].clear();
+            }
+            match *op {
+                TxnOp::Begin(_) => {}
+                TxnOp::Read(_, key) => {
+                    let _ = slots[s].as_ref().expect("ensured open").get(key);
+                }
+                TxnOp::Write(_, key, value) => {
+                    slots[s].as_mut().expect("ensured open").insert(key, value);
+                    shadows[s].insert(key, Some(value));
+                }
+                TxnOp::Delete(_, key) => {
+                    slots[s].as_mut().expect("ensured open").delete(key);
+                    shadows[s].insert(key, None);
+                }
+                TxnOp::Commit(_) => match slots[s].take().expect("ensured open").commit() {
+                    // Read-only commits write no commit group and change
+                    // no state, so they add no prefix entry.
+                    Ok(_) if shadows[s].is_empty() => {}
+                    Ok(_) => {
+                        for (&key, &value) in &shadows[s] {
+                            match value {
+                                Some(v) => {
+                                    model.insert(key, v);
+                                }
+                                None => {
+                                    model.remove(&key);
+                                }
+                            }
+                        }
+                        shadows[s].clear();
+                        states.push(model.iter().map(|(&k, &v)| (k, v)).collect());
+                    }
+                    Err(Error::Conflict(_)) => shadows[s].clear(),
+                    Err(e) => return Err(io("commit", e)),
+                },
+                TxnOp::Abort(_) => {
+                    slots[s].take().expect("ensured open").abort();
+                    shadows[s].clear();
+                }
+            }
+            if spec.commit_every > 0 && (i + 1).is_multiple_of(spec.commit_every) {
+                store.commit_all().map_err(|e| io("commit_all", e))?;
+                floor_commits = states.len() - 1;
+            }
+            if spec.checkpoint_at == Some(i) {
+                // Checkpoint quiesces committers, so the open slots must
+                // not hold the stripe locks — they don't (locks are only
+                // taken inside commit), but they do pin snapshots; that
+                // is fine, checkpoints only need the commit gate.
+                store.checkpoint().map_err(|e| io("checkpoint", e))?;
+                floor_commits = states.len() - 1;
+            }
+        }
+        // Leftover open transactions die with the process — their
+        // intents must never surface after recovery.
+    }
+    let commits = states.len() - 1;
+    // Push all buffered WAL bytes to storage *without* fsync, so the
+    // full image contains every commit group while cuts can still tear.
+    store.flush().map_err(|e| io("flush", e))?;
+    drop(store);
+
+    let total = storage.total_appended();
+    let durable = storage.durable_bytes();
+    let mut cut_points: Vec<usize> = vec![0, usize::MAX];
+    let mut rng = spec.seed ^ 0x7C5_CA57_F00D;
+    for i in 0..spec.cuts {
+        let r = splitmix(&mut rng) as usize;
+        // Half the cuts land in the torn tail past the fsync floor.
+        let cut = if i % 2 == 0 && total > durable {
+            durable + r % (total - durable + 1)
+        } else {
+            r % (total + 1)
+        };
+        cut_points.push(cut);
+    }
+
+    let mut report = TxnCrashReport {
+        ops: ops.len(),
+        commits,
+        cuts_tested: 0,
+        torn_cuts: 0,
+        floor_commits,
+        min_prefix: usize::MAX,
+        max_prefix: 0,
+    };
+    for &cut in &cut_points {
+        let img = Arc::new(storage.crash(cut)) as Arc<dyn Storage>;
+        let (recovered, rec) = TxnStore::open(img, config.clone()).map_err(|e| io("recover", e))?;
+        recovered
+            .mvcc()
+            .check_consistency()
+            .map_err(|e| diverge(format!("cut {cut}: recovered tree consistency: {e}")))?;
+        let got: Vec<(u64, u64)> = recovered.scan(..);
+        let Some(j) = (0..states.len()).rev().find(|&j| states[j] == got) else {
+            return Err(diverge(format!(
+                "cut {cut}: recovered state ({} keys) matches no committed prefix \
+                 (0..={commits} commits) — a partial transaction is visible",
+                got.len(),
+            )));
+        };
+        if j < floor_commits {
+            return Err(diverge(format!(
+                "cut {cut}: recovered only {j} commits but {floor_commits} were \
+                 fsync-durable before the crash",
+            )));
+        }
+        if cut == usize::MAX {
+            if j != commits {
+                return Err(diverge(format!(
+                    "full image recovered {j} of {commits} commits",
+                )));
+            }
+            if rec.torn_tail {
+                return Err(diverge("full image reported a torn tail".to_string()));
+            }
+        }
+        report.cuts_tested += 1;
+        report.torn_cuts += usize::from(rec.torn_tail);
+        report.min_prefix = report.min_prefix.min(j);
+        report.max_prefix = report.max_prefix.max(j);
+    }
+    Ok(report)
+}
+
 #[cfg(all(
     test,
     not(feature = "inject-wal-bug"),
-    not(feature = "inject-split-bug")
+    not(feature = "inject-split-bug"),
+    not(feature = "inject-txn-bug")
 ))]
 mod tests {
     use super::*;
+    use crate::si_checker::TxnWorkloadSpec;
     use crate::workload::{OpMix, WorkloadSpec};
 
     #[test]
@@ -664,6 +894,25 @@ mod tests {
         assert!(report.captured_floor > 0);
         assert!(report.cuts_tested >= 2);
         assert!(report.final_len > 0);
+    }
+
+    #[test]
+    fn txn_crash_fuzz_is_prefix_consistent() {
+        let ops = TxnWorkloadSpec {
+            ops: 400,
+            seed: 0xBEEF,
+            ..TxnWorkloadSpec::default()
+        }
+        .generate();
+        let spec = TxnCrashSpec {
+            cuts: 12,
+            ..TxnCrashSpec::default()
+        };
+        let report = replay_txn_crash(&ops, &spec).unwrap_or_else(|d| panic!("{d}"));
+        assert!(report.commits > 0);
+        assert_eq!(report.cuts_tested, 2 + spec.cuts);
+        assert_eq!(report.max_prefix, report.commits, "full image recovers all");
+        assert!(report.min_prefix >= report.floor_commits);
     }
 
     #[test]

@@ -28,6 +28,18 @@
 //! recovers at fuzzed crash points and asserts prefix consistency against
 //! the model replayed to the recovered LSN (see [`CrashSpec`]).
 //!
+//! Transactions get a history checker ([`replay_txn_history`],
+//! [`replay_txn_concurrent`]): drivers record every begin / read / write /
+//! commit / abort against a real `TxnStore` as a flat [`TxnEvent`] log,
+//! and [`check_history`] re-derives the committed multi-version state
+//! from the log alone to verify the snapshot-isolation axioms — snapshot
+//! reads, first-committer-wins (no lost updates), and unique monotonic
+//! commit timestamps — plus final-state equivalence and the version
+//! tree's structural invariants. [`TxnCrashSpec`] extends the crash
+//! differential to commit groups: the WAL is cut mid-group at fuzzed
+//! byte offsets and recovery must equal some committed prefix — never a
+//! partially applied transaction.
+//!
 //! The harness proves it can catch real bugs via a mutation smoke check:
 //! building with `--features inject-split-bug` enables a deliberately
 //! wrong Fig 7a split bound in `quit-core`, and `tests/mutation_smoke.rs`
@@ -43,14 +55,21 @@
 mod concurrent;
 mod crash;
 mod oracle;
+mod si_checker;
 mod workload;
 
 pub use concurrent::{conc_base_seed, replay_concurrent, ConcReport, ConcSpec};
 pub use crash::{
     replay_crash, replay_crash_concurrent, replay_crash_contended, replay_crash_ops,
-    ConcCrashReport, ConcCrashSpec, ContendedSpec, CrashReport, CrashSpec,
+    replay_txn_crash, ConcCrashReport, ConcCrashSpec, ContendedSpec, CrashReport, CrashSpec,
+    TxnCrashReport, TxnCrashSpec,
 };
 pub use oracle::{replay, replay_guarded, Divergence, OracleConfig, ReplayReport};
+pub use si_checker::{
+    check_history, committed_state, replay_txn_concurrent, replay_txn_history, SiReport,
+    SiSoakSpec, SiSummary, SiViolation, TxnEvent, TxnOp, TxnWorkloadSpec, TxnWorkloadStrategy,
+    MAX_SLOTS,
+};
 pub use workload::{Op, OpMix, WorkloadSpec, WorkloadStrategy, MAX_BATCH, MAX_BULK};
 
 /// Number of fuzz cases to run: `QUIT_FUZZ_CASES` when set and parseable,

@@ -5,16 +5,19 @@
 //!
 //! * [`quit_core`] — the Quick Insertion Tree and its B+-tree platform
 //!   (classical / tail / ℓiℓ / poℓe variants, Table 1 metadata, IKR).
-//! * [`quit_concurrent`] — the lock-crabbing concurrent tree (§4.5).
+//! * [`quit_concurrent`] — the lock-crabbing concurrent tree (§4.5) and
+//!   the multi-version [`MvccTree`](quit_concurrent::MvccTree) over it.
 //! * [`quit_durability`] — segmented WAL with group commit, sorted
-//!   snapshots, and crash recovery for any `SortedIndex`.
+//!   snapshots, and crash recovery for any `SortedIndex`; since 0.9.0
+//!   also [`quit_durability::TxnStore`], snapshot-isolation
+//!   transactions with atomic commit-group recovery.
 //! * [`quit_service`] — the sharded, pipelined TCP key-value service
 //!   over `Durable<ConcurrentTree>`.
 //! * [`sware`] — the SWARE SA-B+-tree baseline.
 //! * [`bods`] — K–L-sortedness workload generation and measurement.
 //! * [`quit_testkit`] — the differential fuzzing & shrinking oracle
-//!   (workload generation + model replay across all families, plus the
-//!   crash-recovery differential mode).
+//!   (workload generation + model replay across all families, the
+//!   crash-recovery differential mode, and the SI history checker).
 //!
 //! All fallible façade APIs return [`Result`] with the unified
 //! [`Error`] taxonomy from `quit_core` — the only error type this crate
@@ -23,8 +26,8 @@
 //! ## The [`Quit`] handle
 //!
 //! For embedding without picking crates apart, [`Quit`] bundles the
-//! common deployment — a durable concurrent tree on a directory — behind
-//! one `open()`:
+//! common deployment — a durable, transactional concurrent tree on a
+//! directory — behind one `open()`:
 //!
 //! ```
 //! use quick_insertion_tree::Quit;
@@ -34,6 +37,13 @@
 //! db.insert(7, 700);
 //! assert_eq!(db.get(7), Some(700));
 //! assert_eq!(db.delete(7), Some(700));
+//!
+//! // Multi-key snapshot-isolation transactions (0.9.0):
+//! let mut txn = db.begin_txn();
+//! txn.insert(1, 10);
+//! txn.insert(2, 20);
+//! txn.commit()?;
+//! assert_eq!(db.get(1), Some(10));
 //! # drop(db);
 //! # std::fs::remove_dir_all(&dir).ok();
 //! # Ok::<(), quick_insertion_tree::Error>(())
@@ -52,33 +62,37 @@ pub use sware;
 pub use quit_core::{Error, Result};
 pub use quit_core::{NodeLayoutKind, SearchKind};
 
-use quit_concurrent::{ConcConfig, ConcRangeIter, ConcurrentTree};
-use quit_core::{SortedIndex, StatsSnapshot};
+use quit_concurrent::ConcConfig;
+use quit_core::StatsSnapshot;
 use quit_durability::{
-    concurrent_builder, DurabilityConfig, Durable, FsStorage, MemStorage, RecoveryReport, Storage,
+    DurabilityConfig, FsStorage, MemStorage, RecoveryReport, Storage, Txn, TxnConfig, TxnStats,
+    TxnStore,
 };
 use std::ops::RangeBounds;
 use std::path::Path;
 use std::sync::Arc;
 
-/// The batteries-included handle: a [`Durable`]`<`[`ConcurrentTree`]`>`
-/// over `u64` keys and values, opened on a directory with paper-default
-/// tree geometry and group-commit durability.
+/// The batteries-included handle: a [`TxnStore`] over `u64` keys and
+/// values, opened on a directory with paper-default tree geometry and
+/// group-commit durability.
 ///
-/// Reads and logged point writes go through `&self` (share a `Quit`
-/// across threads with an [`Arc`]); batch ingest and maintenance
-/// (checkpoint) take `&mut self`. For other key/value types, tree
-/// configs, or storage backends, drop down to [`Durable::open`] — this
-/// handle is the common case, not the whole API. For serving over TCP,
-/// see [`quit_service::Server`].
+/// Every mutation is a transaction: the single-op methods
+/// ([`insert`](Self::insert), [`delete`](Self::delete)) auto-commit, and
+/// [`begin_txn`](Self::begin_txn) opens a multi-key snapshot-isolation
+/// transaction. Everything goes through `&self` — share a `Quit` across
+/// threads with an [`Arc`]. For other key/value types, tree configs, or
+/// storage backends, drop down to [`TxnStore::open`] (or the
+/// non-transactional [`quit_durability::Durable`]); this handle is the
+/// common case, not the whole API. For serving over TCP, see
+/// [`quit_service::Server`].
 pub struct Quit {
-    inner: Durable<ConcurrentTree<u64, u64>>,
+    inner: TxnStore<u64, u64>,
 }
 
 impl Quit {
-    /// Opens (or creates) a durable tree in `dir` with paper-default
-    /// geometry and group-commit durability, discarding the recovery
-    /// report. See [`open_with`](Self::open_with) to keep it.
+    /// Opens (or creates) a durable transactional tree in `dir` with
+    /// paper-default geometry and group-commit durability, discarding the
+    /// recovery report. See [`open_with`](Self::open_with) to keep it.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
         let (db, _) = Self::open_with(
             dir,
@@ -88,16 +102,21 @@ impl Quit {
         Ok(db)
     }
 
-    /// Opens (or creates) a durable tree in `dir` with explicit tree and
-    /// durability configuration, returning the [`RecoveryReport`]
-    /// describing what was replayed.
+    /// Opens (or creates) a durable transactional tree in `dir` with
+    /// explicit tree and durability configuration, returning the
+    /// [`RecoveryReport`] describing what was replayed. Directories
+    /// written by pre-0.9 (non-transactional) versions upgrade in place:
+    /// their plain WAL records replay as single-op commits.
     pub fn open_with(
         dir: impl AsRef<Path>,
         tree: ConcConfig,
         durability: DurabilityConfig,
     ) -> Result<(Self, RecoveryReport)> {
         let storage = Arc::new(FsStorage::open(dir.as_ref())?) as Arc<dyn Storage>;
-        let (inner, report) = Durable::open(storage, durability, concurrent_builder(tree))?;
+        let config = TxnConfig::default()
+            .with_tree(tree)
+            .with_durability(durability);
+        let (inner, report) = TxnStore::open(storage, config)?;
         Ok((Quit { inner }, report))
     }
 
@@ -105,47 +124,66 @@ impl Quit {
     /// survives the process) — tests and scratch work.
     pub fn in_memory() -> Self {
         let storage = Arc::new(MemStorage::new()) as Arc<dyn Storage>;
-        let (inner, _) = Durable::open(
-            storage,
-            DurabilityConfig::group_commit(),
-            concurrent_builder(ConcConfig::paper_default()),
-        )
-        .expect("in-memory open cannot fail");
+        let (inner, _) =
+            TxnStore::open(storage, TxnConfig::default()).expect("in-memory open cannot fail");
         Quit { inner }
     }
 
-    /// Logged insert; at group-commit durability, returns once the record
-    /// is fsync-durable.
+    /// Begins a multi-key snapshot-isolation transaction: reads resolve
+    /// against a stable snapshot, writes buffer until
+    /// [`commit`](Txn::commit), and first-committer-wins validation
+    /// rejects lost updates with [`Error::Conflict`].
+    pub fn begin_txn(&self) -> Txn<'_, u64, u64> {
+        self.inner.begin()
+    }
+
+    /// Auto-commit single-key insert (retried internally on conflict);
+    /// at group-commit durability, returns once the commit group is
+    /// fsync-durable. Panics if the WAL can no longer accept writes
+    /// (poisoned after an I/O failure).
     pub fn insert(&self, key: u64, value: u64) {
-        self.inner.insert_shared(key, value);
+        self.inner.insert(key, value).expect("WAL append failed");
     }
 
-    /// Logged batch insert — one WAL append and one group commit for the
-    /// whole batch; sorted batches ride the tree's sorted-run fast path.
-    /// Returns how many entries were new keys.
-    pub fn insert_batch(&mut self, entries: &[(u64, u64)]) -> usize {
-        self.inner.insert_batch(entries)
+    /// Batch insert as one transaction — one WAL commit group and one
+    /// group commit for the whole batch. Returns how many entries were
+    /// new keys.
+    pub fn insert_batch(&self, entries: &[(u64, u64)]) -> usize {
+        let before = self.inner.len();
+        loop {
+            let mut txn = self.inner.begin();
+            for &(k, v) in entries {
+                txn.insert(k, v);
+            }
+            match txn.commit() {
+                Err(Error::Conflict(_)) => continue,
+                Err(e) => panic!("WAL append failed: {e}"),
+                Ok(_) => break,
+            }
+        }
+        self.inner.len() - before
     }
 
-    /// Point lookup.
+    /// Point lookup at the current visible snapshot.
     pub fn get(&self, key: u64) -> Option<u64> {
-        self.inner.tree().get(key)
+        self.inner.get(key)
     }
 
-    /// Logged delete, returning the previous value if the key was
-    /// present.
+    /// Auto-commit single-key delete, returning the previous value if
+    /// the key was live.
     pub fn delete(&self, key: u64) -> Option<u64> {
-        self.inner.delete_shared(key)
+        self.inner.delete(key).expect("WAL append failed")
     }
 
-    /// Ordered iteration over `bounds`.
-    pub fn range(&self, bounds: impl RangeBounds<u64>) -> ConcRangeIter<u64, u64> {
-        self.inner.tree().range(bounds)
+    /// Ordered iteration over `bounds` — a materialized snapshot scan,
+    /// so the whole result observes one consistent point in time.
+    pub fn range(&self, bounds: impl RangeBounds<u64>) -> impl Iterator<Item = (u64, u64)> {
+        self.inner.scan(bounds).into_iter()
     }
 
     /// Number of live keys.
     pub fn len(&self) -> usize {
-        self.inner.tree().len()
+        self.inner.len()
     }
 
     /// Whether the tree holds no keys.
@@ -159,9 +197,21 @@ impl Quit {
         self.inner.metrics()
     }
 
+    /// Transaction counters: commits, conflicts, aborts, GC activity.
+    pub fn txn_stats(&self) -> TxnStats {
+        self.inner.txn_stats()
+    }
+
+    /// Runs a version-GC pass now (one also runs automatically every
+    /// `TxnConfig::gc_every` commits). Returns versions reclaimed.
+    pub fn gc(&self) -> usize {
+        self.inner.gc()
+    }
+
     /// Writes a sorted snapshot and rotates the WAL, so the next open
     /// recovers from `bulk_load + tiny tail` instead of a long replay.
-    pub fn checkpoint(&mut self) -> Result<()> {
+    /// Quiesces concurrent committers for the duration.
+    pub fn checkpoint(&self) -> Result<()> {
         self.inner.checkpoint()
     }
 
@@ -171,10 +221,11 @@ impl Quit {
         self.inner.commit_all()
     }
 
-    /// The underlying [`Durable`] wrapper, for APIs the handle doesn't
-    /// surface (WAL watermarks, invariant checks, `into_inner`).
-    pub fn durable(&mut self) -> &mut Durable<ConcurrentTree<u64, u64>> {
-        &mut self.inner
+    /// The underlying [`TxnStore`], for APIs the handle doesn't surface
+    /// (snapshot scans at explicit timestamps, consistency checks,
+    /// configuration).
+    pub fn store(&self) -> &TxnStore<u64, u64> {
+        &self.inner
     }
 }
 
@@ -184,7 +235,7 @@ mod tests {
 
     #[test]
     fn handle_roundtrip_in_memory() {
-        let mut db = Quit::in_memory();
+        let db = Quit::in_memory();
         db.insert(1, 10);
         db.insert_batch(&[(2, 20), (3, 30)]);
         assert_eq!(db.get(2), Some(20));
@@ -194,7 +245,26 @@ mod tests {
         assert_eq!(all, vec![(2, 20), (3, 30)]);
         assert!(!db.is_empty());
         assert!(db.stats().wal_appends >= 4);
+        assert_eq!(db.txn_stats().commits, 3);
         db.commit_all().unwrap();
+    }
+
+    #[test]
+    fn handle_transactions_conflict_and_isolate() {
+        let db = Quit::in_memory();
+        db.insert(1, 10);
+        let reader = db.begin_txn();
+        let mut a = db.begin_txn();
+        let mut b = db.begin_txn();
+        a.insert(1, 11);
+        b.insert(1, 12);
+        a.commit().unwrap();
+        assert!(matches!(b.commit(), Err(Error::Conflict(_))));
+        // The reader's snapshot predates both.
+        assert_eq!(reader.get(1), Some(10));
+        drop(reader);
+        assert_eq!(db.get(1), Some(11));
+        assert_eq!(db.txn_stats().conflicts, 1);
     }
 
     #[test]
@@ -206,7 +276,7 @@ mod tests {
         ));
         let _ = std::fs::remove_dir_all(&dir);
         {
-            let mut db = Quit::open(&dir).unwrap();
+            let db = Quit::open(&dir).unwrap();
             db.insert_batch(&(0..500u64).map(|k| (k, k * 2)).collect::<Vec<_>>());
             db.delete(3);
             db.checkpoint().unwrap();
@@ -223,6 +293,19 @@ mod tests {
         assert_eq!(db.len(), 500);
         assert_eq!(db.get(3), None);
         assert_eq!(db.get(1000), Some(1));
+        // An uncommitted transaction at crash time must leave no trace.
+        let mut orphan = db.begin_txn();
+        orphan.insert(2000, 2);
+        drop(orphan);
+        drop(db);
+        let (db, _) = Quit::open_with(
+            &dir,
+            ConcConfig::paper_default(),
+            DurabilityConfig::group_commit(),
+        )
+        .unwrap();
+        assert_eq!(db.get(2000), None);
+        assert_eq!(db.len(), 500);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
