@@ -48,4 +48,5 @@ mod tree;
 
 pub use mvcc::{MvccTree, StripeGuards, VersionCell, VersionChain};
 pub use node::{CNode, NodeRef};
+pub use quit_core::StorageKind;
 pub use tree::{ConcConfig, ConcRangeIter, ConcurrentTree};

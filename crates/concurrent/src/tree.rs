@@ -42,7 +42,7 @@ use crate::olc::{self, LeafRead, Routed, Target};
 use crate::sync::{ArcRwLockReadGuard, ArcRwLockWriteGuard, Mutex, RwLock};
 use quit_core::{
     ikr_bound, Key, MetricsLevel, MetricsRegistry, NodeLayoutKind, SearchKind, SlotInsert, Stats,
-    StatsSnapshot,
+    StatsSnapshot, StorageKind,
 };
 use std::ops::{Bound, RangeBounds};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -84,6 +84,16 @@ pub struct ConcConfig {
     /// latch-free OLC descent always uses the branchless scalar search —
     /// SIMD loads must not race writers).
     pub search_kind: SearchKind,
+    /// Node storage backend (same semantics as
+    /// [`quit_core::TreeConfig::storage`]). The concurrent tree itself
+    /// runs only [`StorageKind::Arena`] — its optimistic readers hold raw
+    /// node pointers that a buffer pool could evict from under them —
+    /// so construction rejects `Paged`; the knob exists so one config type
+    /// can describe a whole deployment and so callers get a *typed*
+    /// rejection instead of silently falling back to the arena. For paged
+    /// storage, use the single-writer `BpTree` via
+    /// `quit_durability::Durable::open_paged`.
+    pub storage: StorageKind,
 }
 
 /// Default optimistic restart budget. Backoff doubles per restart, so the
@@ -106,6 +116,7 @@ impl ConcConfig {
             olc_max_restarts: DEFAULT_OLC_MAX_RESTARTS,
             node_layout: NodeLayoutKind::Dense,
             search_kind: SearchKind::Binary,
+            storage: StorageKind::Arena,
         }
     }
 
@@ -122,6 +133,7 @@ impl ConcConfig {
             olc_max_restarts: DEFAULT_OLC_MAX_RESTARTS,
             node_layout: NodeLayoutKind::Dense,
             search_kind: SearchKind::Binary,
+            storage: StorageKind::Arena,
         }
     }
 
@@ -131,13 +143,20 @@ impl ConcConfig {
     }
 
     /// Set the leaf capacity, keeping the internal capacity and reset
-    /// threshold in sync (same semantics as `TreeConfig::with_leaf_capacity`
-    /// — override either independently *after* this call).
+    /// threshold in sync (same semantics as `TreeConfig::with_leaf_capacity`).
+    ///
+    /// "In sync" only touches values still at their derived defaults: an
+    /// internal capacity or reset threshold you overrode explicitly is
+    /// preserved whether the override came *before or after* this call,
+    /// so builder chains compose in any order.
     pub fn with_leaf_capacity(mut self, cap: usize) -> Self {
         assert!(cap >= 2, "leaf capacity must be at least 2");
+        let old = self.leaf_capacity;
         self.leaf_capacity = cap;
-        self.internal_capacity = cap.max(4);
-        if self.reset_threshold.is_some() {
+        if self.internal_capacity == old.max(4) {
+            self.internal_capacity = cap.max(4);
+        }
+        if self.reset_threshold == Some(Self::default_reset_threshold(old)) {
             self.reset_threshold = Some(Self::default_reset_threshold(cap));
         }
         self
@@ -201,6 +220,14 @@ impl ConcConfig {
         self
     }
 
+    /// Builder-style override of the storage backend (mirrors
+    /// [`quit_core::TreeConfig::with_storage`]). See the field docs for
+    /// why [`ConcurrentTree`] construction rejects [`StorageKind::Paged`].
+    pub fn with_storage(mut self, storage: StorageKind) -> Self {
+        self.storage = storage;
+        self
+    }
+
     /// Panics if the configuration is internally inconsistent (same
     /// contract as `TreeConfig::assert_valid`).
     pub fn assert_valid(&self) {
@@ -210,6 +237,14 @@ impl ConcConfig {
             "internal capacity must be >= 3"
         );
         assert!(self.ikr_scale > 0.0, "IKR scale must be positive");
+        if let StorageKind::Paged {
+            pool_pages,
+            page_size,
+        } = self.storage
+        {
+            assert!(pool_pages >= 2, "pool must hold at least 2 pages");
+            assert!(page_size >= 64, "page size must be at least 64 bytes");
+        }
     }
 }
 
@@ -251,9 +286,18 @@ pub struct ConcurrentTree<K, V> {
 }
 
 impl<K: Key, V: Clone> ConcurrentTree<K, V> {
-    /// An empty tree.
+    /// An empty tree. Panics on a [`StorageKind::Paged`] config: the
+    /// optimistic readers hold raw node pointers a buffer pool could evict
+    /// from under them (fallible openers like
+    /// `quit_durability::TxnStore::open` surface the same restriction as a
+    /// `config` error instead).
     pub fn new(config: ConcConfig) -> Self {
         assert!(config.leaf_capacity >= 2 && config.internal_capacity >= 3);
+        assert!(
+            matches!(config.storage, StorageKind::Arena),
+            "ConcurrentTree supports only StorageKind::Arena; for paged \
+             storage use the single-writer BpTree (Durable::open_paged)"
+        );
         let root = CNode::empty_leaf(config.leaf_capacity).into_ref();
         let fp = ConcFp {
             leaf: config.pole_enabled.then(|| root.clone()),
@@ -1625,6 +1669,39 @@ mod tests {
         assert_eq!(c.internal_capacity, 128, "explicit override wins");
         assert_eq!(c.reset_threshold, Some(8));
         c.assert_valid();
+    }
+
+    #[test]
+    fn builder_order_does_not_matter() {
+        // An explicit internal-capacity or reset-threshold override must
+        // survive a later `with_leaf_capacity`, and vice versa.
+        let before = ConcConfig::paper_default()
+            .with_internal_capacity(128)
+            .with_leaf_capacity(64);
+        let after = ConcConfig::paper_default()
+            .with_leaf_capacity(64)
+            .with_internal_capacity(128);
+        assert_eq!(before.internal_capacity, 128);
+        assert_eq!(before.internal_capacity, after.internal_capacity);
+        assert_eq!(before.reset_threshold, after.reset_threshold);
+
+        let before = ConcConfig::paper_default()
+            .with_reset_threshold(Some(3))
+            .with_leaf_capacity(64);
+        let after = ConcConfig::paper_default()
+            .with_leaf_capacity(64)
+            .with_reset_threshold(Some(3));
+        assert_eq!(before.reset_threshold, Some(3));
+        assert_eq!(before.reset_threshold, after.reset_threshold);
+        before.assert_valid();
+
+        // Values still at their derived defaults keep tracking the leaf.
+        let derived = ConcConfig::paper_default().with_leaf_capacity(100);
+        assert_eq!(derived.internal_capacity, 100);
+        assert_eq!(
+            derived.reset_threshold,
+            Some(ConcConfig::default_reset_threshold(100))
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ impl<K: Key, V> BpTree<K, V> {
         config: crate::config::TreeConfig,
         entries: impl IntoIterator<Item = (K, V)>,
         fill: f64,
-    ) -> Self {
+    ) -> Self
+    where
+        V: 'static,
+    {
         assert!(fill > 0.0 && fill <= 1.0, "fill factor must be in (0, 1]");
         let mut tree = Self::with_config(mode, config);
         let per_leaf = ((tree.config.leaf_capacity as f64 * fill).floor() as usize).max(1);
@@ -163,6 +166,9 @@ impl<K: Key, V> BpTree<K, V> {
     where
         V: Clone,
     {
+        // Operation boundary (see `insert`): trim paged residency once per
+        // batch; per-entry inserts below re-trim as they go.
+        self.arena.begin_op();
         let mut i = 0usize;
         while i < entries.len() {
             let mut j = i + 1;

@@ -23,6 +23,37 @@ pub enum SplitBoundRule {
     Literal,
 }
 
+/// Where a tree's nodes live: the in-memory slab arena (default, the
+/// bit-for-bit paper-reproduction path) or fixed-size pages behind the
+/// buffer pool manager (`crate::pool` / `crate::paged`), which bounds
+/// residency and is the larger-than-RAM path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StorageKind {
+    /// Every node lives in the malloc'd slab arena (always resident).
+    Arena,
+    /// Nodes live in fixed-size pages behind a buffer pool: at most
+    /// `pool_pages` decoded nodes stay resident between operations,
+    /// CLOCK-evicted to the page store past that. Requires
+    /// plain-old-data keys and values, and a geometry whose largest
+    /// node fits in `page_size` bytes (both checked at construction).
+    Paged {
+        /// Frame budget: decoded nodes resident between operations.
+        pool_pages: usize,
+        /// Page size in bytes (checked against the node geometry).
+        page_size: usize,
+    },
+}
+
+impl StorageKind {
+    /// Paged storage with the default 4 KiB page size.
+    pub fn paged(pool_pages: usize) -> Self {
+        StorageKind::Paged {
+            pool_pages,
+            page_size: crate::pool::DEFAULT_PAGE_SIZE,
+        }
+    }
+}
+
 /// Geometry and policy knobs shared by every index variant in this crate.
 ///
 /// Defaults mirror the paper's setup (§5 "Index Design and Default Setup"):
@@ -76,6 +107,10 @@ pub struct TreeConfig {
     /// paper's `partition_point`; `Branchless` and `Simd` are the
     /// data-parallel alternatives. All kinds return identical positions.
     pub search_kind: SearchKind,
+    /// Node storage backend. [`StorageKind::Arena`] (default) keeps every
+    /// node in the in-memory slab; [`StorageKind::Paged`] puts nodes in
+    /// fixed-size pages behind the buffer pool manager.
+    pub storage: StorageKind,
 }
 
 impl TreeConfig {
@@ -95,6 +130,7 @@ impl TreeConfig {
             metrics_level: MetricsLevel::default(),
             node_layout: NodeLayoutKind::Dense,
             search_kind: SearchKind::Binary,
+            storage: StorageKind::Arena,
         }
     }
 
@@ -114,6 +150,7 @@ impl TreeConfig {
             metrics_level: MetricsLevel::default(),
             node_layout: NodeLayoutKind::Dense,
             search_kind: SearchKind::Binary,
+            storage: StorageKind::Arena,
         }
     }
 
@@ -130,13 +167,20 @@ impl TreeConfig {
     }
 
     /// Set the leaf capacity, keeping the internal capacity and reset
-    /// threshold in sync (same semantics as `ConcConfig::with_leaf_capacity`
-    /// — override either independently *after* this call).
+    /// threshold in sync (same semantics as `ConcConfig::with_leaf_capacity`).
+    ///
+    /// "In sync" only touches values still at their derived defaults: an
+    /// internal capacity or reset threshold you overrode explicitly is
+    /// preserved whether the override came *before or after* this call,
+    /// so builder chains compose in any order.
     pub fn with_leaf_capacity(mut self, cap: usize) -> Self {
         assert!(cap >= 2, "leaf capacity must be at least 2");
+        let old = self.leaf_capacity;
         self.leaf_capacity = cap;
-        self.internal_capacity = cap.max(4);
-        if self.reset_threshold.is_some() {
+        if self.internal_capacity == old.max(4) {
+            self.internal_capacity = cap.max(4);
+        }
+        if self.reset_threshold == Some(Self::default_reset_threshold(old)) {
             self.reset_threshold = Some(Self::default_reset_threshold(cap));
         }
         self
@@ -220,6 +264,19 @@ impl TreeConfig {
         self
     }
 
+    /// Builder-style override of the node storage backend.
+    ///
+    /// `StorageKind::paged(pool_pages)` bounds residency to `pool_pages`
+    /// decoded nodes between operations on 4 KiB pages. Note the paper's
+    /// 510-entry geometry does not fit a 4 KiB page once encoded with its
+    /// header — paged trees use smaller leaves (e.g.
+    /// `TreeConfig::small(128)`) or a bigger `page_size`; the mismatch is
+    /// caught at construction with an explicit message.
+    pub fn with_storage(mut self, storage: StorageKind) -> Self {
+        self.storage = storage;
+        self
+    }
+
     fn validate(&self) {
         assert!(self.leaf_capacity >= 2, "leaf capacity must be >= 2");
         assert!(
@@ -235,6 +292,14 @@ impl TreeConfig {
             self.bulk_fill > 0.0 && self.bulk_fill <= 1.0,
             "bulk-load fill factor must be in (0, 1]"
         );
+        if let StorageKind::Paged {
+            pool_pages,
+            page_size,
+        } = self.storage
+        {
+            assert!(pool_pages >= 2, "paged storage needs pool_pages >= 2");
+            assert!(page_size >= 64, "paged storage needs page_size >= 64");
+        }
     }
 
     /// Panics if the configuration is internally inconsistent.
@@ -348,5 +413,46 @@ mod tests {
     #[should_panic(expected = "leaf capacity")]
     fn rejects_tiny_leaves() {
         let _ = TreeConfig::small(8).with_leaf_capacity(1);
+    }
+
+    #[test]
+    fn builder_overrides_survive_any_order() {
+        // Override *before* with_leaf_capacity: must not be clobbered.
+        let c = TreeConfig::paper_default()
+            .with_internal_capacity(128)
+            .with_leaf_capacity(64);
+        assert_eq!(c.internal_capacity, 128, "earlier override preserved");
+        assert_eq!(c.leaf_capacity, 64);
+        let c = TreeConfig::paper_default()
+            .with_reset_threshold(Some(77))
+            .with_leaf_capacity(64);
+        assert_eq!(c.reset_threshold, Some(77), "earlier override preserved");
+        // Untouched values still track the leaf capacity.
+        let c = TreeConfig::paper_default().with_leaf_capacity(64);
+        assert_eq!(c.internal_capacity, 64);
+        assert_eq!(c.reset_threshold, Some(8));
+    }
+
+    #[test]
+    fn storage_knob() {
+        let c = TreeConfig::paper_default();
+        assert_eq!(c.storage, StorageKind::Arena, "paper path by default");
+        let c = c.with_storage(StorageKind::paged(64));
+        assert_eq!(
+            c.storage,
+            StorageKind::Paged {
+                pool_pages: 64,
+                page_size: 4096
+            }
+        );
+        c.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "pool_pages")]
+    fn rejects_tiny_pool() {
+        TreeConfig::small(8)
+            .with_storage(StorageKind::paged(1))
+            .assert_valid();
     }
 }

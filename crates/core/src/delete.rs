@@ -16,6 +16,8 @@ impl<K: Key, V: Clone> BpTree<K, V> {
     /// Removes one entry with key `key` (the left-most when duplicates
     /// exist) and returns its value, or `None` when absent.
     pub fn delete(&mut self, key: K) -> Option<V> {
+        // Operation boundary (see `insert`): trim paged residency.
+        self.arena.begin_op();
         let (leaf_id, pos) = self.locate(key)?;
         // `locate` stops in the routed leaf, which for a duplicate run
         // spanning several leaves is a split-position-dependent instance.

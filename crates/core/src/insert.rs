@@ -52,6 +52,9 @@ impl<K: Key, V: Clone> BpTree<K, V> {
     /// Inserts an entry. Duplicate keys are allowed (this is an index, not a
     /// map); the new entry lands after existing equal keys.
     pub fn insert(&mut self, key: K, value: V) {
+        // Operation boundary: under paged storage, release the previous
+        // operation's implicit pins and trim residency to the pool budget.
+        self.arena.begin_op();
         let t0 = self.metrics.op_timer();
         match self.mode {
             FastPathMode::None => {

@@ -40,7 +40,7 @@ pub unsafe trait AnyBitPattern: Copy {}
 /// keys without a latch: implementing `Key` for a type with invalid bit
 /// patterns requires (unsoundly) writing the `unsafe impl`, rather than
 /// being an accident a safe `impl Key` could commit.
-pub trait Key: Copy + Ord + Debug + AnyBitPattern {
+pub trait Key: Copy + Ord + Debug + AnyBitPattern + 'static {
     /// Monotonic projection into `f64` used by the IKR estimator.
     fn to_ikr(self) -> f64;
 

@@ -101,6 +101,13 @@ mod layout;
 mod metrics;
 mod node;
 mod ordered;
+// `paged` extends `&self` node borrows past its internal `RefCell` via
+// raw pointers; soundness rests on boxed (address-stable) frames and
+// eviction being confined to `&mut self` operation boundaries — see the
+// module docs.
+#[allow(unsafe_code)]
+mod paged;
+mod pool;
 mod snapshot;
 mod sorted_index;
 mod split;
@@ -110,7 +117,7 @@ mod validate;
 mod variants;
 
 pub use arena::NodeId;
-pub use config::{SplitBoundRule, TreeConfig};
+pub use config::{SplitBoundRule, StorageKind, TreeConfig};
 pub use cursor::Cursor;
 pub use error::{Error, Result};
 pub use fastpath::{FastPathMode, FastPathState};
@@ -126,7 +133,12 @@ pub use metrics::{
     Counter, FastPathWindow, HistogramSnapshot, LatencyHistogram, MetricsLevel, MetricsRegistry,
     FASTPATH_WINDOW, HISTOGRAM_BUCKETS,
 };
-pub use snapshot::TreeSnapshot;
+pub use paged::{max_encoded_node_size, value_is_pod, PagedNodes, IMAGE_MAGIC};
+pub use pool::{
+    crc32, BufferPool, FilePageStore, MemPageStore, PageId, PageStore, PoolCounters, ReadGuard,
+    WriteGuard, DEFAULT_PAGE_SIZE, PAGE_FILE_MAGIC,
+};
+pub use snapshot::{TreeSnapshot, TREE_IMAGE_MAGIC};
 pub use sorted_index::SortedIndex;
 pub use stats::{MemoryReport, Stats, StatsSnapshot};
 pub use tree::{BpTree, FastPathInfo};

@@ -108,6 +108,9 @@ impl<K: Key, V: Clone> SortedIndex<K, V> for BpTree<K, V> {
     }
 
     fn get(&mut self, key: K) -> Option<V> {
+        // Operation boundary: trim paged residency before the read (the
+        // `&self` read path itself faults but never evicts).
+        self.arena.begin_op();
         BpTree::get(self, key).cloned()
     }
 
@@ -116,10 +119,12 @@ impl<K: Key, V: Clone> SortedIndex<K, V> for BpTree<K, V> {
     }
 
     fn range<R: RangeBounds<K>>(&mut self, bounds: R) -> impl Iterator<Item = (K, V)> + '_ {
+        self.arena.begin_op();
         BpTree::range(self, bounds).map(|(k, v)| (k, v.clone()))
     }
 
     fn range_with_stats<R: RangeBounds<K>>(&mut self, bounds: R) -> RangeScan<K, V> {
+        self.arena.begin_op();
         BpTree::range_with_stats(self, bounds)
     }
 
@@ -128,6 +133,7 @@ impl<K: Key, V: Clone> SortedIndex<K, V> for BpTree<K, V> {
     }
 
     fn metrics(&self) -> StatsSnapshot {
+        self.sync_pool_counters();
         self.metrics_registry().snapshot()
     }
 

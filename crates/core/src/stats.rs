@@ -64,6 +64,15 @@ pub struct Stats {
     pub wal_appends: Counter,
     /// WAL fsyncs issued (one per commit group under group commit).
     pub wal_fsyncs: Counter,
+    /// Page faults: node accesses that missed the buffer pool and loaded
+    /// the page from the backing [`crate::PageStore`] (paged storage only;
+    /// zero for the in-memory arena).
+    pub page_faults: Counter,
+    /// Pages evicted from the buffer pool to make room (paged storage only).
+    pub page_evictions: Counter,
+    /// Node accesses served from a resident buffer-pool frame (paged
+    /// storage only).
+    pub pool_hits: Counter,
 }
 
 impl Stats {
@@ -92,6 +101,9 @@ impl Stats {
         f(&self.olc_fallbacks);
         f(&self.wal_appends);
         f(&self.wal_fsyncs);
+        f(&self.page_faults);
+        f(&self.page_evictions);
+        f(&self.pool_hits);
     }
 
     /// Zeroes every counter (e.g. between ingest and query phases).
@@ -139,6 +151,9 @@ impl Stats {
             olc_fallbacks: self.olc_fallbacks.get(),
             wal_appends: self.wal_appends.get(),
             wal_fsyncs: self.wal_fsyncs.get(),
+            page_faults: self.page_faults.get(),
+            page_evictions: self.page_evictions.get(),
+            pool_hits: self.pool_hits.get(),
             ..Default::default()
         }
     }
@@ -183,6 +198,9 @@ pub struct StatsSnapshot {
     pub olc_fallbacks: u64,
     pub wal_appends: u64,
     pub wal_fsyncs: u64,
+    pub page_faults: u64,
+    pub page_evictions: u64,
+    pub pool_hits: u64,
     /// Insert latency histogram ([`crate::MetricsLevel::Histograms`] only).
     pub insert_latency: HistogramSnapshot,
     /// Point-lookup latency histogram.
@@ -216,6 +234,19 @@ impl StatsSnapshot {
         }
     }
 
+    /// Fraction of paged node accesses served from a resident frame,
+    /// `hits / (hits + faults)` in `[0, 1]`. Returns 1 when no paged
+    /// access has happened (an empty pool misses nothing) — matching
+    /// [`crate::PoolCounters::hit_rate`]. Always 1 for the in-memory arena.
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.page_faults;
+        if total == 0 {
+            1.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+
     /// Fraction of the *windowed* (most recent) inserts that took the fast
     /// path, in `[0, 1]` — the sortedness-over-time signal.
     pub fn recent_fastpath_rate(&self) -> f64 {
@@ -236,7 +267,7 @@ impl StatsSnapshot {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
         out.push('{');
-        let counters: [(&str, u64); 19] = [
+        let counters: [(&str, u64); 22] = [
             ("fast_inserts", self.fast_inserts),
             ("top_inserts", self.top_inserts),
             ("leaf_splits", self.leaf_splits),
@@ -256,6 +287,9 @@ impl StatsSnapshot {
             ("olc_fallbacks", self.olc_fallbacks),
             ("wal_appends", self.wal_appends),
             ("wal_fsyncs", self.wal_fsyncs),
+            ("page_faults", self.page_faults),
+            ("page_evictions", self.page_evictions),
+            ("pool_hits", self.pool_hits),
         ];
         for (name, v) in counters {
             push_key(&mut out, name);
@@ -264,6 +298,9 @@ impl StatsSnapshot {
         }
         push_key(&mut out, "fast_insert_fraction");
         push_f64(&mut out, self.fast_insert_fraction());
+        out.push(',');
+        push_key(&mut out, "pool_hit_rate");
+        push_f64(&mut out, self.pool_hit_rate());
         out.push(',');
 
         for (name, h) in [

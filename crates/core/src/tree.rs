@@ -9,7 +9,7 @@
 //! [`crate::delete`], scans in [`crate::iter`].
 
 use crate::arena::{Arena, NodeId};
-use crate::config::TreeConfig;
+use crate::config::{StorageKind, TreeConfig};
 use crate::fastpath::{FastPathMode, FastPathState};
 use crate::key::Key;
 use crate::metrics::MetricsRegistry;
@@ -62,9 +62,32 @@ pub struct BpTree<K, V> {
 
 impl<K: Key, V> BpTree<K, V> {
     /// Creates an empty tree with the given fast-path mode and configuration.
-    pub fn with_config(mode: FastPathMode, config: TreeConfig) -> Self {
+    ///
+    /// With `TreeConfig::storage` set to [`crate::StorageKind::Paged`],
+    /// nodes live in fixed-size pages behind the buffer pool: at most
+    /// `pool_pages` decoded nodes stay resident between operations. That
+    /// backend requires plain-old-data keys *and* values and a geometry
+    /// whose largest node fits one page — both are checked here with an
+    /// explicit panic message. The default [`crate::StorageKind::Arena`]
+    /// accepts any `V` and is bit-for-bit the paper path.
+    pub fn with_config(mode: FastPathMode, config: TreeConfig) -> Self
+    where
+        V: 'static,
+    {
         config.assert_valid();
-        let mut arena = Arena::new();
+        let mut arena = match config.storage {
+            StorageKind::Arena => Arena::new(),
+            StorageKind::Paged {
+                pool_pages,
+                page_size,
+            } => Arena::paged(
+                Box::new(crate::pool::MemPageStore::new()),
+                pool_pages,
+                page_size,
+                config.leaf_capacity,
+                config.internal_capacity,
+            ),
+        };
         let root = arena.alloc(Node::Leaf(LeafNode::with_capacity(config.leaf_capacity)));
         let mut fp = FastPathState::initial(root);
         if !mode.has_fast_path() {
@@ -88,7 +111,10 @@ impl<K: Key, V> BpTree<K, V> {
     }
 
     /// Creates an empty tree with paper-default geometry.
-    pub fn new(mode: FastPathMode) -> Self {
+    pub fn new(mode: FastPathMode) -> Self
+    where
+        V: 'static,
+    {
         Self::with_config(mode, TreeConfig::paper_default())
     }
 
@@ -135,10 +161,48 @@ impl<K: Key, V> BpTree<K, V> {
         &self.metrics
     }
 
-    /// Point-in-time snapshot of everything the registry records.
+    /// Point-in-time snapshot of everything the registry records. On the
+    /// paged backend the pool's hit/fault/eviction counters are folded in
+    /// first, so `page_faults`/`page_evictions`/`pool_hits` are current.
     #[inline]
     pub fn metrics(&self) -> crate::stats::StatsSnapshot {
+        self.sync_pool_counters();
         self.metrics.snapshot()
+    }
+
+    /// True when nodes live in fixed-size pages behind the buffer pool
+    /// ([`crate::StorageKind::Paged`]).
+    #[inline]
+    pub fn is_paged(&self) -> bool {
+        self.arena.is_paged()
+    }
+
+    /// Decoded nodes currently resident in memory. Equals the live node
+    /// count on the in-memory arena; on the paged backend it is bounded
+    /// by the pool budget at operation boundaries (mid-operation it can
+    /// overshoot by the nodes the operation touched).
+    #[inline]
+    pub fn resident_nodes(&self) -> usize {
+        self.arena.resident()
+    }
+
+    /// Releases read-overshoot back to the pool budget. On the paged
+    /// backend, `&self` reads fault pages in but never evict (eviction
+    /// needs `&mut`); mutations trim at their own operation boundaries.
+    /// After a long read burst, call this to drop residency back to the
+    /// configured pool size. No-op on the in-memory arena.
+    pub fn trim_residency(&mut self) {
+        self.arena.begin_op();
+    }
+
+    /// Copies the arena's pool counters (if paged) into the registry's
+    /// counter block, where snapshots and JSON export read them.
+    pub(crate) fn sync_pool_counters(&self) {
+        if let Some(pc) = self.arena.pool_counters() {
+            self.metrics.counters.pool_hits.set(pc.hits.get());
+            self.metrics.counters.page_faults.set(pc.faults.get());
+            self.metrics.counters.page_evictions.set(pc.evictions.get());
+        }
     }
 
     /// The current root-to-leaf path of the fast-path node (`fp_path`,
@@ -385,7 +449,10 @@ impl<K: Key, V> BpTree<K, V> {
     /// Drops every entry, resetting the tree to a single empty root leaf.
     /// Metrics (counters, histograms, window) are preserved; the fast path
     /// re-arms on the fresh root.
-    pub fn clear(&mut self) {
+    pub fn clear(&mut self)
+    where
+        V: 'static,
+    {
         let config = self.config.clone();
         let mode = self.mode;
         let metrics = std::mem::replace(

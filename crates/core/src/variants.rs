@@ -65,7 +65,7 @@ impl Variant {
     }
 
     /// Builds an empty index of this variant.
-    pub fn build<K: Key, V>(self, config: TreeConfig) -> BpTree<K, V> {
+    pub fn build<K: Key, V: 'static>(self, config: TreeConfig) -> BpTree<K, V> {
         BpTree::with_config(self.mode(), self.configure(config))
     }
 }
@@ -74,7 +74,7 @@ impl Variant {
 pub type ClassicBPlusTree<K, V> = BpTree<K, V>;
 
 /// Convenience constructors mirroring [`Variant`].
-impl<K: Key, V> BpTree<K, V> {
+impl<K: Key, V: 'static> BpTree<K, V> {
     /// A classical B+-tree with paper-default geometry.
     pub fn classic() -> Self {
         Variant::Classic.build(TreeConfig::paper_default())

@@ -29,12 +29,15 @@
 //! detection instead of point inserts.
 
 use crate::frame::WalCodec;
+use crate::psnap::{paged_snapshot_candidates, read_paged_snapshot, write_paged_snapshot};
 use crate::snapshot::load_best_snapshot;
 use crate::storage::Storage;
 use crate::wal::{scan_wal, Lsn, Wal, WalTuning};
 use crate::WalOp;
 use quit_concurrent::{ConcConfig, ConcurrentTree};
-use quit_core::{BpTree, FastPathMode, Key, Result, SortedIndex, StatsSnapshot, TreeConfig};
+use quit_core::{
+    BpTree, Error, FastPathMode, Key, Result, SortedIndex, StatsSnapshot, StorageKind, TreeConfig,
+};
 use std::ops::RangeBounds;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -343,6 +346,131 @@ impl<T> Durable<T> {
     }
 }
 
+/// Paged-tree durability: checkpoints that write the tree's *pages*
+/// (`psnap-….qpsf`) instead of its entries, and an open path whose
+/// recovery is partly lazy — integrity is validated eagerly, but nodes
+/// fault in from the buffer pool on demand instead of being rebuilt by
+/// `bulk_load`.
+impl<K, V> Durable<BpTree<K, V>>
+where
+    K: Key + WalCodec,
+    V: Clone + WalCodec + 'static,
+{
+    /// Opens (or creates) a durable *paged* [`BpTree`]:
+    /// `tree_config.storage` must be [`StorageKind::Paged`].
+    ///
+    /// Recovery prefers the newest fully-valid paged snapshot — each
+    /// candidate's header, metadata, and every page CRC are verified in
+    /// one byte sweep, and any malformation rejects the whole candidate —
+    /// falling back to older generations, then to sorted (`.qsnp`)
+    /// snapshots from pre-paged deployments, then to an empty tree; the
+    /// WAL tail replays on top as usual. Opening from a page image decodes
+    /// no nodes beyond the fast-path spine, so recovery cost stops scaling
+    /// with tree size.
+    pub fn open_paged(
+        storage: Arc<dyn Storage>,
+        config: DurabilityConfig,
+        mode: FastPathMode,
+        tree_config: TreeConfig,
+    ) -> Result<(Self, RecoveryReport)> {
+        if !matches!(tree_config.storage, StorageKind::Paged { .. }) {
+            return Err(Error::config(
+                "open_paged requires TreeConfig::with_storage(StorageKind::Paged { .. })",
+            ));
+        }
+        let t0 = Instant::now();
+        let mut rejected_snapshots = 0;
+        let mut best_paged: Option<(u64, Lsn, BpTree<K, V>)> = None;
+        for (generation, name) in paged_snapshot_candidates(&*storage)? {
+            let bytes = storage.read(&name)?;
+            let recovered = read_paged_snapshot(&bytes)
+                .filter(|(g, ..)| *g == generation)
+                .and_then(|(_, lsn, image)| {
+                    BpTree::from_page_image(image, tree_config.clone())
+                        .ok()
+                        .map(|tree| (lsn, tree))
+                });
+            match recovered {
+                Some((lsn, tree)) => {
+                    best_paged = Some((generation, lsn, tree));
+                    break;
+                }
+                None => rejected_snapshots += 1,
+            }
+        }
+        // Sorted snapshots can coexist (a pre-paged deployment's files, or
+        // pruning disabled): take whichever flavour is the newer
+        // generation.
+        let ((sorted_generation, sorted_lsn, entries), sorted_rejected) =
+            load_best_snapshot::<K, V>(&*storage)?;
+        rejected_snapshots += sorted_rejected;
+        let paged_wins = best_paged
+            .as_ref()
+            .is_some_and(|(generation, ..)| *generation >= sorted_generation);
+        let (snap_generation, snapshot_lsn, mut inner) = if paged_wins {
+            let (generation, lsn, tree) = best_paged.unwrap();
+            (generation, lsn, tree)
+        } else {
+            let fill = tree_config.bulk_fill;
+            let tree = BpTree::bulk_load(mode, tree_config, entries, fill);
+            (sorted_generation, sorted_lsn, tree)
+        };
+        let snapshot_entries = inner.len();
+        let scan = scan_wal::<K, V>(&*storage, snapshot_lsn, snap_generation)?;
+        let tail_records = apply_tail(&mut inner, &scan.tail);
+        let wal = Wal::resume(
+            storage,
+            config.tuning(),
+            scan.resume_generation,
+            scan.resume_seq,
+            scan.last_lsn + 1,
+        );
+        let elapsed = t0.elapsed();
+        wal.metrics()
+            .recovery_latency
+            .record_ns(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+        let report = RecoveryReport {
+            snapshot_entries,
+            snapshot_lsn,
+            tail_records,
+            recovered_lsn: scan.last_lsn,
+            torn_tail: scan.torn,
+            stale_segments: scan.stale_segments,
+            rejected_snapshots,
+            elapsed,
+        };
+        let stripes = (0..WRITE_STRIPES).map(|_| Mutex::new(())).collect();
+        Ok((
+            Durable {
+                inner,
+                wal,
+                config,
+                stripes,
+            },
+            report,
+        ))
+    }
+
+    /// Checkpoint for a paged tree: flushes every dirty page and publishes
+    /// the page file itself as the generation-`g+1` snapshot
+    /// (`psnap-….qpsf`, atomic tmp + sync + rename), rotates the WAL, and
+    /// prunes superseded files of *both* snapshot flavours. Errors with
+    /// `config` if the tree runs the in-memory arena backend — use
+    /// [`Durable::checkpoint`] there.
+    pub fn checkpoint_paged(&mut self) -> Result<()> {
+        let image = self
+            .inner
+            .to_page_image()
+            .ok_or_else(|| Error::config("checkpoint_paged requires the paged storage backend"))?;
+        self.wal.checkpoint_with(
+            self.config.prune_on_checkpoint,
+            |storage, generation, lsn| {
+                write_paged_snapshot(storage, generation, lsn, &image).map_err(Into::into)
+            },
+        )
+    }
+}
+
 impl<K, V, T> SortedIndex<K, V> for Durable<T>
 where
     K: Key + WalCodec,
@@ -512,7 +640,7 @@ where
 /// A [`Durable::open`] builder for [`BpTree`]: bulk-loads the snapshot at
 /// the configuration's `bulk_fill` (the Fig 10c leaf-count knob), so a
 /// recovered tree gets the same leaf occupancy the deployment configured.
-pub fn bptree_builder<K: Key, V: Clone>(
+pub fn bptree_builder<K: Key, V: Clone + 'static>(
     mode: FastPathMode,
     config: TreeConfig,
 ) -> impl FnOnce(Vec<(K, V)>) -> BpTree<K, V> {
@@ -645,6 +773,145 @@ mod tests {
         assert_eq!(d2.len(), 599);
         assert_eq!(d2.get(0), None);
         assert_eq!(d2.get(599), Some(599));
+    }
+
+    fn paged_tree_config() -> TreeConfig {
+        TreeConfig::small(16).with_storage(quit_core::StorageKind::paged(8))
+    }
+
+    fn open_paged(storage: &Arc<MemStorage>) -> (Durable<BpTree<u64, u64>>, RecoveryReport) {
+        Durable::open_paged(
+            storage.clone() as Arc<dyn Storage>,
+            DurabilityConfig::group_commit(),
+            FastPathMode::Pole,
+            paged_tree_config(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paged_checkpoint_recovers_lazily_with_tail() {
+        let storage = Arc::new(MemStorage::new());
+        let (mut d, report) = open_paged(&storage);
+        assert_eq!(report.snapshot_entries, 0);
+        let batch: Vec<(u64, u64)> = (0..500u64).map(|k| (k, k * 3)).collect();
+        d.insert_batch(&batch);
+        d.checkpoint_paged().unwrap();
+        for k in 500..600u64 {
+            d.insert(k, k * 3);
+        }
+        d.delete(7);
+
+        let files = storage.list().unwrap();
+        assert!(
+            files.iter().any(|f| f.starts_with("psnap-")),
+            "paged snapshot written: {files:?}"
+        );
+        assert!(
+            !files.iter().any(|f| f.starts_with("snap-")),
+            "no sorted snapshot dual-written: {files:?}"
+        );
+        assert!(
+            !files.iter().any(|f| f.contains("wal-00000000")),
+            "generation-0 segments pruned: {files:?}"
+        );
+
+        let crashed = Arc::new(storage.crash_durable_only());
+        let (mut d2, report) = open_paged(&crashed);
+        assert_eq!(report.snapshot_entries, 500);
+        assert_eq!(report.snapshot_lsn, 500);
+        assert_eq!(report.tail_records, 101);
+        assert_eq!(d2.len(), 599);
+        assert_eq!(d2.get(7), None);
+        assert_eq!(d2.get(599), Some(1797));
+        assert!(d2.inner().is_paged());
+        d2.inner_mut().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn corrupt_psnap_falls_back_to_previous_generation() {
+        let storage = Arc::new(MemStorage::new());
+        let (mut d, _) = open_paged(&storage);
+        d.insert_batch(&(0..200u64).map(|k| (k, k)).collect::<Vec<_>>());
+        d.checkpoint_paged().unwrap();
+        d.insert_batch(&(200..400u64).map(|k| (k, k)).collect::<Vec<_>>());
+        // Keep generation 1 around so recovery has somewhere to fall.
+        d.config.prune_on_checkpoint = false;
+        d.checkpoint_paged().unwrap();
+
+        // Flip one byte deep inside the newest psnap's page area: the
+        // per-page CRC sweep must reject the whole candidate, never
+        // silently apply a torn page.
+        let name = "psnap-00000002.qpsf";
+        let mut bytes = storage.read(name).unwrap();
+        let at = bytes.len() - 40;
+        bytes[at] ^= 0x01;
+        storage.remove(name).unwrap();
+        storage.install(name, bytes);
+
+        let crashed = Arc::new(storage.crash_durable_only());
+        let (mut d2, report) = open_paged(&crashed);
+        assert_eq!(report.rejected_snapshots, 1);
+        assert_eq!(report.snapshot_entries, 200, "fell back to generation 1");
+        // Generation 2's WAL segments replay nothing (they start past the
+        // rejected snapshot), but generation 1's tail still covers the
+        // second batch.
+        assert_eq!(d2.len(), 400);
+        assert_eq!(d2.get(399), Some(399));
+    }
+
+    #[test]
+    fn open_paged_reads_legacy_sorted_snapshots() {
+        let storage = Arc::new(MemStorage::new());
+        // A pre-paged deployment: sorted snapshot + WAL tail.
+        let (mut d, _) = open(&storage, DurabilityConfig::group_commit());
+        d.insert_batch(&(0..300u64).map(|k| (k, k + 1)).collect::<Vec<_>>());
+        d.checkpoint::<u64, u64>().unwrap();
+        d.insert(300, 301);
+
+        // The same directory reopened paged: qsnp bulk-loads, tail replays.
+        let crashed = Arc::new(storage.crash_durable_only());
+        let (mut d2, report) = open_paged(&crashed);
+        assert_eq!(report.snapshot_entries, 300);
+        assert_eq!(report.tail_records, 1);
+        assert_eq!(d2.len(), 301);
+        assert!(d2.inner().is_paged());
+        // And the next checkpoint upgrades the directory to psnap.
+        d2.checkpoint_paged().unwrap();
+        let files = storage_list(&crashed);
+        assert!(files.iter().any(|f| f.starts_with("psnap-")));
+        assert!(
+            !files.iter().any(|f| f.starts_with("snap-")),
+            "superseded sorted snapshot pruned: {files:?}"
+        );
+    }
+
+    fn storage_list(storage: &Arc<MemStorage>) -> Vec<String> {
+        Storage::list(&**storage).unwrap()
+    }
+
+    #[test]
+    fn open_paged_rejects_arena_config() {
+        let storage = Arc::new(MemStorage::new());
+        let err = match Durable::<BpTree<u64, u64>>::open_paged(
+            storage as Arc<dyn Storage>,
+            DurabilityConfig::group_commit(),
+            FastPathMode::Pole,
+            TreeConfig::small(16),
+        ) {
+            Err(err) => err,
+            Ok(_) => panic!("arena config must be rejected"),
+        };
+        assert_eq!(err.kind(), "config");
+    }
+
+    #[test]
+    fn checkpoint_paged_rejects_arena_tree() {
+        let storage = Arc::new(MemStorage::new());
+        let (mut d, _) = open(&storage, DurabilityConfig::group_commit());
+        d.insert(1, 1);
+        let err = d.checkpoint_paged().unwrap_err();
+        assert_eq!(err.kind(), "config");
     }
 
     #[test]

@@ -60,6 +60,7 @@
 
 mod durable;
 mod frame;
+mod psnap;
 mod snapshot;
 mod storage;
 mod txn;

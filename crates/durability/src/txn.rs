@@ -256,6 +256,12 @@ where
     /// pre-0.9 `Durable`) replay as synthetic single-op commits in log
     /// order, so upgrading a directory in place works.
     pub fn open(storage: Arc<dyn Storage>, config: TxnConfig) -> Result<(Self, RecoveryReport)> {
+        if !matches!(config.tree.storage, quit_core::StorageKind::Arena) {
+            return Err(quit_core::Error::config(
+                "the concurrent transactional tree supports only StorageKind::Arena; \
+                 for paged storage use Durable::open_paged",
+            ));
+        }
         let t0 = Instant::now();
         let ((snap_generation, snapshot_lsn, entries), rejected_snapshots) =
             load_best_snapshot::<K, Stamped<V>>(&*storage)?;

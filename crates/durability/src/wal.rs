@@ -362,6 +362,23 @@ impl Wal {
         chunk_entries: usize,
         prune: bool,
     ) -> Result<()> {
+        self.checkpoint_with(prune, |storage, generation, lsn| {
+            crate::snapshot::write_snapshot(storage, generation, lsn, entries, chunk_entries)
+                .map_err(Into::into)
+        })
+    }
+
+    /// The checkpoint protocol with the snapshot format abstracted out:
+    /// makes the log durable, calls `write_snapshot(storage, g+1, lsn)` to
+    /// publish the new generation's snapshot in whatever format the caller
+    /// uses (sorted entries or a paged image), switches segment writing to
+    /// generation `g+1`, and optionally prunes everything superseded —
+    /// stale segments, *both* snapshot flavours, and leftover `.tmp`s.
+    pub(crate) fn checkpoint_with(
+        &self,
+        prune: bool,
+        write_snapshot: impl FnOnce(&dyn Storage, u64, Lsn) -> Result<()>,
+    ) -> Result<()> {
         let mut st = self.state.lock().unwrap();
         self.flush_locked(&mut st)?;
         if st.seg_open {
@@ -375,13 +392,7 @@ impl Wal {
         let snapshot_lsn = st.next_lsn - 1;
         let old_generation = st.generation;
         let new_generation = old_generation + 1;
-        crate::snapshot::write_snapshot(
-            &*self.storage,
-            new_generation,
-            snapshot_lsn,
-            entries,
-            chunk_entries,
-        )?;
+        write_snapshot(&*self.storage, new_generation, snapshot_lsn)?;
         st.generation = new_generation;
         st.seg_seq = 0;
         st.seg_open = false;
@@ -391,11 +402,13 @@ impl Wal {
                 let stale_segment = parse_seg_name(&name).is_some_and(|(g, _)| g <= old_generation);
                 let stale_snapshot =
                     crate::snapshot::parse_snap_name(&name).is_some_and(|g| g < new_generation);
+                let stale_psnap =
+                    crate::psnap::parse_psnap_name(&name).is_some_and(|g| g < new_generation);
                 // Any `.tmp` still present is an interrupted snapshot
                 // publish from a previous run (the one we just wrote has
                 // already been renamed into place).
                 let stale_tmp = name.ends_with(".tmp");
-                if stale_segment || stale_snapshot || stale_tmp {
+                if stale_segment || stale_snapshot || stale_psnap || stale_tmp {
                     self.storage.remove(&name)?;
                 }
             }

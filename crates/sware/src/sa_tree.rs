@@ -82,7 +82,7 @@ pub struct SaBpTree<K, V> {
     metrics: MetricsRegistry,
 }
 
-impl<K: Key + Hash, V: Clone> SaBpTree<K, V> {
+impl<K: Key + Hash, V: Clone + 'static> SaBpTree<K, V> {
     /// An empty SA-B+-tree. The underlying index is the same classical
     /// B+-tree platform used by every other variant (§5.4 note).
     pub fn new(config: SwareConfig) -> Self {
@@ -286,7 +286,7 @@ impl<K: Key + Hash, V: Clone> SaBpTree<K, V> {
     }
 }
 
-impl<K: Key + Hash, V: Clone> quit_core::SortedIndex<K, V> for SaBpTree<K, V> {
+impl<K: Key + Hash, V: Clone + 'static> quit_core::SortedIndex<K, V> for SaBpTree<K, V> {
     fn insert(&mut self, key: K, value: V) {
         SaBpTree::insert(self, key, value);
     }

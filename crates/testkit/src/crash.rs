@@ -29,7 +29,7 @@ use crate::oracle::{Divergence, Model};
 use crate::si_checker::{TxnOp, MAX_SLOTS};
 use crate::workload::Op;
 use quit_concurrent::ConcConfig;
-use quit_core::{Error, FastPathMode, SortedIndex, TreeConfig};
+use quit_core::{Error, FastPathMode, SortedIndex, StorageKind, TreeConfig};
 use quit_durability::{
     bptree_builder, concurrent_builder, DurabilityConfig, Durable, MemStorage, Storage, TxnConfig,
     TxnStore,
@@ -254,9 +254,25 @@ fn verify_cut(
         }
     }
 
-    // Replay the shadow log to R and demand exact equality: length, the
-    // full key sequence (multiplicity included), and values wherever a
-    // single untainted instance makes them well-defined.
+    check_prefix_equality(&mut recovered, shadow, r, &diverge)?;
+
+    report.cuts_tested += 1;
+    report.torn_cuts += rec.torn_tail as usize;
+    report.min_recovered = report.min_recovered.min(r);
+    report.max_recovered = report.max_recovered.max(r);
+    Ok(())
+}
+
+/// Replays the shadow log to LSN `r` and demands exact equality with the
+/// recovered tree: length, the full key sequence (multiplicity included),
+/// values wherever a single untainted instance makes them well-defined,
+/// and the structural invariant suite.
+fn check_prefix_equality(
+    recovered: &mut Durable<quit_core::BpTree<u64, u64>>,
+    shadow: &[Logged],
+    r: u64,
+    diverge: &dyn Fn(String) -> Divergence,
+) -> Result<(), Divergence> {
     let mut model = Model::default();
     for logged in &shadow[..r as usize] {
         match *logged {
@@ -274,9 +290,7 @@ fn verify_cut(
         )));
     }
     let want: Vec<u64> = model.range_keys(0, u64::MAX);
-    let got: Vec<u64> = SortedIndex::range(&mut recovered, ..)
-        .map(|(k, _)| k)
-        .collect();
+    let got: Vec<u64> = SortedIndex::range(recovered, ..).map(|(k, _)| k).collect();
     if got != want {
         let at = got.iter().zip(&want).position(|(a, b)| a != b);
         return Err(diverge(format!(
@@ -300,11 +314,6 @@ fn verify_cut(
         .inner()
         .check_invariants()
         .map_err(|e| diverge(format!("recovered tree invariants: {e}")))?;
-
-    report.cuts_tested += 1;
-    report.torn_cuts += rec.torn_tail as usize;
-    report.min_recovered = report.min_recovered.min(r);
-    report.max_recovered = report.max_recovered.max(r);
     Ok(())
 }
 
@@ -315,6 +324,324 @@ pub fn replay_crash(
     spec: &CrashSpec,
 ) -> Result<CrashReport, Divergence> {
     replay_crash_ops(&workload.generate(), spec)
+}
+
+/// Knobs for the **paged** crash differential: the page-file variant of
+/// [`CrashSpec`]. The durable tree runs the paged backend, checkpoints
+/// publish the page file itself (`psnap-….qpsf`), and the crash fuzz cuts
+/// the combined page-file + WAL byte stream — so cuts land inside psnap
+/// writes (a torn, unpublished snapshot the recovery must ignore) as well
+/// as inside WAL frames. Checkpoint pruning is disabled so that every
+/// crash image retains a full fallback chain (older snapshots + unpruned
+/// segments): recovery after *any* rejection must still reach the exact
+/// committed prefix, never a partially applied page.
+#[derive(Clone, Debug)]
+pub struct PagedCrashSpec {
+    /// Random crash points per run (0 and the full image always added).
+    pub cuts: usize,
+    /// Leaf capacity of the durable paged tree.
+    pub leaf_capacity: usize,
+    /// Buffer-pool budget in pages (small forces constant eviction).
+    pub pool_pages: usize,
+    /// Explicit `commit_all` durability point roughly every this many
+    /// ops (0 disables).
+    pub commit_every: usize,
+    /// `checkpoint_paged` (page-file snapshot + WAL rotation) after this
+    /// op index.
+    pub checkpoint_at: Option<usize>,
+    /// Torn-page trials: single-byte flips planted inside the *published*
+    /// newest psnap of the full image; recovery must reject the snapshot
+    /// (never silently apply the flipped page) and still recover the
+    /// exact committed prefix through the fallback chain.
+    pub torn_pages: usize,
+    /// Seed for crash-point/flip selection.
+    pub seed: u64,
+}
+
+impl Default for PagedCrashSpec {
+    fn default() -> Self {
+        PagedCrashSpec {
+            cuts: 24,
+            leaf_capacity: 8,
+            pool_pages: 8,
+            commit_every: 48,
+            checkpoint_at: Some(40),
+            torn_pages: 12,
+            seed: 0x9A6E_C4A5,
+        }
+    }
+}
+
+/// Totals from a completed (divergence-free) paged crash fuzz.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PagedCrashReport {
+    /// Workload ops driven through the durable paged tree.
+    pub ops: usize,
+    /// Mutation records written to the WAL (the shadow-log length).
+    pub records: usize,
+    /// Crash points recovered and verified (including 0 and full).
+    pub cuts_tested: usize,
+    /// Crash points whose WAL image ended in a torn frame.
+    pub torn_cuts: usize,
+    /// Recoveries that rejected at least one snapshot candidate (torn or
+    /// truncated psnap/qsnp files) and fell back.
+    pub rejected_recoveries: usize,
+    /// Torn-page trials that planted a byte flip and verified rejection.
+    pub torn_pages_tested: usize,
+    /// LSN covered by the last explicit durability point.
+    pub floor_lsn: u64,
+    /// Smallest / largest LSN any crash point recovered to.
+    pub min_recovered: u64,
+    /// See [`min_recovered`](Self::min_recovered).
+    pub max_recovered: u64,
+}
+
+fn paged_crash_tree_config(spec: &PagedCrashSpec) -> TreeConfig {
+    TreeConfig::small(spec.leaf_capacity).with_storage(StorageKind::paged(spec.pool_pages))
+}
+
+fn open_paged_crashed(
+    storage: Arc<MemStorage>,
+    spec: &PagedCrashSpec,
+) -> quit_core::Result<(
+    Durable<quit_core::BpTree<u64, u64>>,
+    quit_durability::RecoveryReport,
+)> {
+    Durable::open_paged(
+        storage as Arc<dyn Storage>,
+        crash_config().with_prune_on_checkpoint(false),
+        FastPathMode::Pole,
+        paged_crash_tree_config(spec),
+    )
+}
+
+/// The page-file variant of [`replay_crash_ops`]: runs `ops` through a
+/// durable **paged** tree (checkpointing the page file mid-run), then
+/// crash-fuzzes the byte stream at `spec.cuts` offsets and plants
+/// `spec.torn_pages` single-byte flips inside the published snapshot.
+/// Every recovery must lazily fault to exactly the committed prefix; a
+/// torn page must be rejected, never silently applied.
+pub fn replay_crash_paged_ops(
+    ops: &[Op],
+    spec: &PagedCrashSpec,
+) -> Result<PagedCrashReport, Divergence> {
+    let storage = Arc::new(MemStorage::new());
+    let (mut durable, _) =
+        open_paged_crashed(storage.clone(), spec).map_err(|e| io_div("open", e))?;
+
+    let mut shadow: Vec<Logged> = Vec::new();
+    let mut rng = spec.seed ^ 0xD15C_0000;
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Insert(k, v) => {
+                durable.insert(*k, *v);
+                shadow.push(Logged::Insert(*k, *v));
+            }
+            Op::InsertBatch(entries) | Op::BulkLoad(entries) => {
+                durable.insert_batch(entries);
+                shadow.extend(entries.iter().map(|&(k, v)| Logged::Insert(k, v)));
+            }
+            Op::Delete(k) => {
+                durable.delete(*k);
+                shadow.push(Logged::Delete(*k));
+            }
+            Op::Get(k) => {
+                let _ = durable.get(*k);
+            }
+            Op::Range(s, e) => {
+                let _ = SortedIndex::range(&mut durable, *s..*e).count();
+            }
+            Op::ResetMetrics => SortedIndex::<u64, u64>::reset_metrics(&durable),
+        }
+        if spec.checkpoint_at == Some(i) {
+            durable
+                .checkpoint_paged()
+                .map_err(|e| io_div("checkpoint_paged", e))?;
+        }
+        if spec.commit_every > 0 && splitmix(&mut rng).is_multiple_of(spec.commit_every as u64) {
+            durable.commit_all().map_err(|e| io_div("commit_all", e))?;
+        }
+    }
+    durable.flush().map_err(|e| io_div("flush", e))?;
+    let floor_lsn = durable.wal().durable_lsn();
+    drop(durable);
+
+    let total = storage.total_appended();
+    let mut report = PagedCrashReport {
+        ops: ops.len(),
+        records: shadow.len(),
+        floor_lsn,
+        min_recovered: u64::MAX,
+        ..PagedCrashReport::default()
+    };
+
+    let durable_bytes = storage.durable_bytes();
+    let mut cuts: Vec<usize> = vec![0, total];
+    for i in 0..spec.cuts {
+        let cut = if i % 2 == 0 {
+            (splitmix(&mut rng) % (total as u64 + 1)) as usize
+        } else {
+            durable_bytes + (splitmix(&mut rng) % ((total - durable_bytes) as u64 + 1)) as usize
+        };
+        cuts.push(cut);
+    }
+    for &cut in &cuts {
+        verify_paged_cut(&storage, cut, total, &shadow, floor_lsn, spec, &mut report)?;
+    }
+
+    // Torn-page trials: flip one byte inside the newest *published* psnap
+    // of the full image. The per-page CRC sweep must reject the whole
+    // candidate and recovery must fall back to the exact committed
+    // prefix — a flipped page must never be served.
+    for _ in 0..spec.torn_pages {
+        verify_torn_page(&storage, total, &shadow, &mut rng, spec, &mut report)?;
+    }
+    Ok(report)
+}
+
+/// Recovers the paged crash image at byte `cut` and asserts lazy
+/// prefix-consistent recovery.
+fn verify_paged_cut(
+    storage: &MemStorage,
+    cut: usize,
+    total: usize,
+    shadow: &[Logged],
+    floor_lsn: u64,
+    spec: &PagedCrashSpec,
+    report: &mut PagedCrashReport,
+) -> Result<(), Divergence> {
+    let diverge = |detail: String| Divergence {
+        family: "Durable<BpTree[paged]>",
+        op_index: cut,
+        detail,
+    };
+    let crashed = Arc::new(storage.crash(cut));
+    let (mut recovered, rec) =
+        open_paged_crashed(crashed, spec).map_err(|e| io_div("recover", e))?;
+
+    let r = rec.recovered_lsn;
+    if r < floor_lsn {
+        return Err(diverge(format!(
+            "durability violation: recovered LSN {r} < fsync floor {floor_lsn}"
+        )));
+    }
+    if r as usize > shadow.len() {
+        return Err(diverge(format!(
+            "recovered LSN {r} beyond the {} records ever logged",
+            shadow.len()
+        )));
+    }
+    if cut == total {
+        if r as usize != shadow.len() {
+            return Err(diverge(format!(
+                "full image must recover all {} records, got LSN {r} (torn={})",
+                shadow.len(),
+                rec.torn_tail,
+            )));
+        }
+        if rec.torn_tail {
+            return Err(diverge("full image reported a torn tail".to_string()));
+        }
+        if rec.rejected_snapshots != 0 {
+            return Err(diverge(format!(
+                "full image rejected {} snapshot candidates",
+                rec.rejected_snapshots
+            )));
+        }
+    }
+
+    // Lazy recovery: before any reads spread out, residency must stay
+    // near the pool budget — the pool plus the last replayed op's pin set
+    // (its spine and any split chain, trimmed at the next op boundary) —
+    // never anywhere near the snapshot's full node count.
+    let resident = recovered.inner().resident_nodes();
+    let bound = spec.pool_pages + 2 * (recovered.inner().height() + 2);
+    if rec.snapshot_entries > 0 && resident > bound {
+        return Err(diverge(format!(
+            "recovery faulted {resident} nodes (pool {} + pin-set bound {bound})",
+            spec.pool_pages
+        )));
+    }
+
+    check_prefix_equality(&mut recovered, shadow, r, &diverge)?;
+
+    report.cuts_tested += 1;
+    report.torn_cuts += rec.torn_tail as usize;
+    report.rejected_recoveries += (rec.rejected_snapshots > 0) as usize;
+    report.min_recovered = report.min_recovered.min(r);
+    report.max_recovered = report.max_recovered.max(r);
+    Ok(())
+}
+
+/// Plants a single-byte flip inside the newest published psnap of the
+/// full image and asserts recovery rejects the snapshot yet still reaches
+/// the exact committed prefix through the fallback chain.
+fn verify_torn_page(
+    storage: &MemStorage,
+    total: usize,
+    shadow: &[Logged],
+    rng: &mut u64,
+    spec: &PagedCrashSpec,
+    report: &mut PagedCrashReport,
+) -> Result<(), Divergence> {
+    let crashed = storage.crash(total);
+    let psnap = {
+        let mut names: Vec<String> = crashed
+            .list()
+            .map_err(|e| io_div("list", Error::from(e)))?
+            .into_iter()
+            .filter(|n| n.starts_with("psnap-") && n.ends_with(".qpsf"))
+            .collect();
+        names.sort();
+        match names.pop() {
+            Some(name) => name,
+            // No checkpoint in this run (e.g. a shrunk op list shorter
+            // than `checkpoint_at`): nothing to tear.
+            None => return Ok(()),
+        }
+    };
+    let mut bytes = crashed
+        .read(&psnap)
+        .map_err(|e| io_div("read psnap", Error::from(e)))?;
+    let at = (splitmix(rng) % bytes.len() as u64) as usize;
+    let bit = 1u8 << (splitmix(rng) % 8);
+    bytes[at] ^= bit;
+    crashed
+        .remove(&psnap)
+        .map_err(|e| io_div("remove psnap", Error::from(e)))?;
+    crashed.install(&psnap, bytes);
+
+    let diverge = |detail: String| Divergence {
+        family: "Durable<BpTree[paged]>",
+        op_index: at,
+        detail: format!("torn page (flip bit {bit:#04x} at byte {at} of {psnap}): {detail}"),
+    };
+    let (mut recovered, rec) =
+        open_paged_crashed(Arc::new(crashed), spec).map_err(|e| io_div("recover torn", e))?;
+    if rec.rejected_snapshots == 0 {
+        return Err(diverge(
+            "flipped snapshot was not rejected — a torn page may have been served".to_string(),
+        ));
+    }
+    let r = rec.recovered_lsn;
+    if r as usize != shadow.len() {
+        return Err(diverge(format!(
+            "fallback recovery reached LSN {r}, wanted all {} records",
+            shadow.len()
+        )));
+    }
+    check_prefix_equality(&mut recovered, shadow, r, &diverge)?;
+    report.torn_pages_tested += 1;
+    Ok(())
+}
+
+/// [`replay_crash_paged_ops`] with the workload generated from `workload`
+/// (convenience for fixed-seed soaks).
+pub fn replay_crash_paged(
+    workload: &crate::workload::WorkloadSpec,
+    spec: &PagedCrashSpec,
+) -> Result<PagedCrashReport, Divergence> {
+    replay_crash_paged_ops(&workload.generate(), spec)
 }
 
 /// Knobs for the concurrent crash differential: N writers through group

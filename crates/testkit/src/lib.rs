@@ -61,10 +61,11 @@ mod workload;
 pub use concurrent::{conc_base_seed, replay_concurrent, ConcReport, ConcSpec};
 pub use crash::{
     replay_crash, replay_crash_concurrent, replay_crash_contended, replay_crash_ops,
-    replay_txn_crash, ConcCrashReport, ConcCrashSpec, ContendedSpec, CrashReport, CrashSpec,
-    TxnCrashReport, TxnCrashSpec,
+    replay_crash_paged, replay_crash_paged_ops, replay_txn_crash, ConcCrashReport, ConcCrashSpec,
+    ContendedSpec, CrashReport, CrashSpec, PagedCrashReport, PagedCrashSpec, TxnCrashReport,
+    TxnCrashSpec,
 };
-pub use oracle::{replay, replay_guarded, Divergence, OracleConfig, ReplayReport};
+pub use oracle::{replay, replay_guarded, Divergence, OracleBackend, OracleConfig, ReplayReport};
 pub use si_checker::{
     check_history, committed_state, replay_txn_concurrent, replay_txn_history, SiReport,
     SiSoakSpec, SiSummary, SiViolation, TxnEvent, TxnOp, TxnWorkloadSpec, TxnWorkloadStrategy,

@@ -18,9 +18,30 @@
 
 use crate::workload::Op;
 use quit_concurrent::{ConcConfig, ConcurrentTree};
-use quit_core::{BpTree, NodeLayoutKind, SearchKind, SortedIndex, TreeConfig, Variant};
+use quit_core::{
+    BpTree, NodeLayoutKind, SearchKind, SortedIndex, StorageKind, TreeConfig, Variant,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use sware::{SaBpTree, SwareConfig};
+
+/// Which node-storage backend the single-writer families run on.
+///
+/// `Paged` puts `BpTree` and `SaBpTree` nodes behind the buffer pool with
+/// `pool_pages` resident pages — capping the pool well below the working
+/// set makes every replayed op contend with faults and evictions, which is
+/// exactly where a pin-discipline bug shows up as a model divergence.
+/// `ConcurrentTree` always runs the arena (it rejects paged storage).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OracleBackend {
+    /// The in-memory arena (the paper's configuration).
+    #[default]
+    Arena,
+    /// Fixed-size pages behind a buffer pool capped at `pool_pages`.
+    Paged {
+        /// Maximum resident pages in the pool.
+        pool_pages: usize,
+    },
+}
 
 /// Geometry and cadence knobs for one oracle run.
 ///
@@ -40,6 +61,9 @@ pub struct OracleConfig {
     pub node_layout: NodeLayoutKind,
     /// Intra-node search implementation for every family.
     pub search_kind: SearchKind,
+    /// Node storage for `BpTree` and `SaBpTree` (the concurrent family
+    /// always runs the arena).
+    pub backend: OracleBackend,
 }
 
 impl Default for OracleConfig {
@@ -50,6 +74,7 @@ impl Default for OracleConfig {
             check_every: 256,
             node_layout: NodeLayoutKind::Dense,
             search_kind: SearchKind::Binary,
+            backend: OracleBackend::Arena,
         }
     }
 }
@@ -59,6 +84,12 @@ impl OracleConfig {
     pub fn with_layout(mut self, layout: NodeLayoutKind, kind: SearchKind) -> Self {
         self.node_layout = layout;
         self.search_kind = kind;
+        self
+    }
+
+    /// Same geometry, different storage backend.
+    pub fn with_backend(mut self, backend: OracleBackend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -280,14 +311,20 @@ impl Family {
 /// Replays `ops` against the model and every family, comparing observable
 /// behaviour op-by-op. Returns the first [`Divergence`], if any.
 pub fn replay(ops: &[Op], config: &OracleConfig) -> Result<ReplayReport, Divergence> {
+    let storage = match config.backend {
+        OracleBackend::Arena => StorageKind::Arena,
+        OracleBackend::Paged { pool_pages } => StorageKind::paged(pool_pages),
+    };
     let tree_config = TreeConfig::small(config.leaf_capacity)
         .with_node_layout(config.node_layout)
-        .with_search_kind(config.search_kind);
+        .with_search_kind(config.search_kind)
+        .with_storage(storage);
     let mut sware_config = SwareConfig::small(config.buffer_capacity, config.leaf_capacity);
     sware_config.tree_config = sware_config
         .tree_config
         .with_node_layout(config.node_layout)
-        .with_search_kind(config.search_kind);
+        .with_search_kind(config.search_kind)
+        .with_storage(storage);
     let mut families = vec![
         Family::Quit(Variant::Quit.build(tree_config)),
         Family::Sware(SaBpTree::new(sware_config)),

@@ -10,10 +10,16 @@
 // break these properties; cargo's feature unification applies them to the
 // whole test run, so the clean differential suite steps aside. See
 // tests/mutation_smoke.rs and tests/search_mutation_smoke.rs.
-#![cfg(not(any(feature = "inject-split-bug", feature = "inject-search-bug")))]
+#![cfg(not(any(
+    feature = "inject-split-bug",
+    feature = "inject-search-bug",
+    feature = "inject-pin-bug"
+)))]
 
 use proptest::prelude::*;
-use quit_testkit::{fuzz_cases, replay, OpMix, OracleConfig, WorkloadSpec, WorkloadStrategy};
+use quit_testkit::{
+    fuzz_cases, replay, OpMix, OracleBackend, OracleConfig, WorkloadSpec, WorkloadStrategy,
+};
 
 /// Knob grid: (K fraction, L fraction) pairs covering sorted, near-sorted,
 /// locally scrambled, and fully random ingest — the BoDS regimes of §5.
@@ -64,6 +70,57 @@ fn fixed_seed_soak() {
         "soak must replay ≥ 50k ops per family, got {total_ops}"
     );
     eprintln!("differential soak: {total_ops} ops per family, no divergence");
+}
+
+/// The same fixed-seed soak on the **paged** backend, with the buffer
+/// pool capped at roughly 1/8 of the working set so nearly every op
+/// contends with faults and evictions. The oracle demands *exact* model
+/// equality op-by-op, so a page served stale (a pin dropped early, a torn
+/// eviction, a miscoded node) surfaces as a divergence, not a perf blip.
+#[test]
+fn fixed_seed_soak_paged_under_pressure() {
+    let cases = fuzz_cases(10);
+    // ~560 ops at leaf capacity 8 settle around 60–120 live nodes; an
+    // 8–16 page pool keeps residency near 1/8 of that working set.
+    let geometries = [
+        OracleConfig::default().with_backend(OracleBackend::Paged { pool_pages: 16 }),
+        OracleConfig {
+            leaf_capacity: 4,
+            buffer_capacity: 8,
+            check_every: 128,
+            ..OracleConfig::default()
+        }
+        .with_backend(OracleBackend::Paged { pool_pages: 8 }),
+    ];
+    let mut total_ops = 0usize;
+    for case in 0..cases {
+        for (g, (k, l)) in KL_GRID.iter().enumerate() {
+            let spec = WorkloadSpec {
+                ops: 560,
+                k_fraction: *k,
+                l_fraction: *l,
+                seed: 0x9A6E_D000 ^ ((case as u64) << 8) ^ g as u64,
+                mix: if (case + g).is_multiple_of(2) {
+                    OpMix::mixed()
+                } else {
+                    OpMix::ingest_heavy()
+                },
+                dup_fraction: 0.08,
+            };
+            let ops = spec.generate();
+            for cfg in geometries.iter().flat_map(OracleConfig::layout_sweep) {
+                let report = replay(&ops, &cfg).unwrap_or_else(|d| {
+                    panic!("paged case {case} K={k} L={l} {:?}: {d}", cfg.backend)
+                });
+                total_ops += report.ops;
+            }
+        }
+    }
+    assert!(
+        total_ops >= 50_000 || cases < 10,
+        "paged soak must replay ≥ 50k ops per family, got {total_ops}"
+    );
+    eprintln!("paged differential soak: {total_ops} ops per family, no divergence");
 }
 
 proptest! {

@@ -63,10 +63,10 @@ pub use quit_core::{Error, Result};
 pub use quit_core::{NodeLayoutKind, SearchKind};
 
 use quit_concurrent::ConcConfig;
-use quit_core::StatsSnapshot;
+use quit_core::{BpTree, FastPathMode, SortedIndex, StatsSnapshot, StorageKind, TreeConfig};
 use quit_durability::{
-    DurabilityConfig, FsStorage, MemStorage, RecoveryReport, Storage, Txn, TxnConfig, TxnStats,
-    TxnStore,
+    DurabilityConfig, Durable, FsStorage, MemStorage, RecoveryReport, Storage, Txn, TxnConfig,
+    TxnStats, TxnStore,
 };
 use std::ops::RangeBounds;
 use std::path::Path;
@@ -227,6 +227,128 @@ impl Quit {
     pub fn store(&self) -> &TxnStore<u64, u64> {
         &self.inner
     }
+
+    /// Opens (or creates) a durable **paged** tree in `dir`: nodes live in
+    /// fixed-size pages behind a buffer pool capped at `pool_pages`
+    /// resident pages, checkpoints publish the page file itself
+    /// (`psnap-….qpsf`), and recovery is partly lazy — integrity is
+    /// verified eagerly but nodes fault in on first use, so datasets
+    /// larger than the pool (and RAM) stay usable.
+    ///
+    /// The trade is concurrency: the paged backend is single-writer, so
+    /// this returns a [`QuitPaged`] handle (`&mut self` mutations, no
+    /// transactions) instead of a [`Quit`]. Directories written by the
+    /// non-paged [`Quit::open`] are **not** interchangeable with paged
+    /// ones — pick one flavour per directory.
+    pub fn open_paged(
+        dir: impl AsRef<Path>,
+        pool_pages: usize,
+    ) -> Result<(QuitPaged, RecoveryReport)> {
+        QuitPaged::open(dir, pool_pages)
+    }
+}
+
+/// The paged sibling of [`Quit`]: a durable single-writer [`BpTree`] whose
+/// nodes live in 4 KiB pages behind a buffer pool ([`Quit::open_paged`]).
+///
+/// Mutations take `&mut self` — wrap in a `Mutex` to share across threads.
+/// Reads (`get`, `range`) also take `&mut self`, because even a lookup may
+/// fault pages in. Geometry is fixed at a page-friendly leaf capacity
+/// rather than the paper's 510-entry nodes (which assume the in-memory
+/// arena); for the bit-for-bit paper configuration use [`Quit::open`] or
+/// `quit_core` directly.
+pub struct QuitPaged {
+    inner: Durable<BpTree<u64, u64>>,
+}
+
+/// Leaf/internal capacity for the facade's paged trees: 120 entries of
+/// `(u64, u64)` plus node metadata fits comfortably in one 4 KiB page.
+const PAGED_LEAF_CAPACITY: usize = 120;
+
+impl QuitPaged {
+    /// See [`Quit::open_paged`].
+    pub fn open(dir: impl AsRef<Path>, pool_pages: usize) -> Result<(Self, RecoveryReport)> {
+        let storage = Arc::new(FsStorage::open(dir.as_ref())?) as Arc<dyn Storage>;
+        let tree_config =
+            TreeConfig::small(PAGED_LEAF_CAPACITY).with_storage(StorageKind::paged(pool_pages));
+        let (inner, report) = Durable::open_paged(
+            storage,
+            DurabilityConfig::group_commit(),
+            FastPathMode::Pole,
+            tree_config,
+        )?;
+        Ok((QuitPaged { inner }, report))
+    }
+
+    /// Logged insert; at group-commit durability, returns once the commit
+    /// group is fsync-durable.
+    pub fn insert(&mut self, key: u64, value: u64) {
+        SortedIndex::insert(&mut self.inner, key, value);
+    }
+
+    /// Batch insert — one WAL append (and one group commit) for the whole
+    /// batch. Returns how many entries were new keys.
+    pub fn insert_batch(&mut self, entries: &[(u64, u64)]) -> usize {
+        SortedIndex::insert_batch(&mut self.inner, entries)
+    }
+
+    /// Point lookup (may fault the key's page into the pool).
+    pub fn get(&mut self, key: u64) -> Option<u64> {
+        SortedIndex::get(&mut self.inner, key)
+    }
+
+    /// Logged delete, returning the previous value if the key was live.
+    pub fn delete(&mut self, key: u64) -> Option<u64> {
+        SortedIndex::delete(&mut self.inner, key)
+    }
+
+    /// Ordered iteration over `bounds`, faulting pages as the scan walks.
+    pub fn range(
+        &mut self,
+        bounds: impl RangeBounds<u64>,
+    ) -> impl Iterator<Item = (u64, u64)> + '_ {
+        SortedIndex::range(&mut self.inner, bounds)
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        SortedIndex::len(&self.inner)
+    }
+
+    /// Whether the tree holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Nodes currently resident in the buffer pool (decoded and pinned or
+    /// cached) — bounded by the pool budget between operations.
+    pub fn resident_nodes(&self) -> usize {
+        self.inner.inner().resident_nodes()
+    }
+
+    /// Tree + pool + WAL metrics; the pool counters (`page_faults`,
+    /// `page_evictions`, `pool_hits`, `pool_hit_rate`) are live here.
+    pub fn stats(&self) -> StatsSnapshot {
+        SortedIndex::metrics(&self.inner)
+    }
+
+    /// Flushes every dirty page, publishes the page file as a paged
+    /// snapshot (`psnap-….qpsf`), rotates the WAL, and prunes superseded
+    /// files, so the next open recovers lazily from the page image plus a
+    /// tiny tail.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        self.inner.checkpoint_paged()
+    }
+
+    /// Blocks until everything logged so far is fsync-durable.
+    pub fn commit_all(&mut self) -> Result<()> {
+        self.inner.commit_all()
+    }
+
+    /// The underlying durable tree, for APIs the handle doesn't surface.
+    pub fn store(&mut self) -> &mut Durable<BpTree<u64, u64>> {
+        &mut self.inner
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +428,58 @@ mod tests {
         .unwrap();
         assert_eq!(db.get(2000), None);
         assert_eq!(db.len(), 500);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn paged_handle_survives_reopen_lazily() {
+        let dir = std::env::temp_dir().join(format!(
+            "quit-paged-facade-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (mut db, _) = Quit::open_paged(&dir, 64).unwrap();
+            db.insert_batch(&(0..5000u64).map(|k| (k, k * 2)).collect::<Vec<_>>());
+            db.delete(3);
+            db.checkpoint().unwrap();
+            db.insert(10_000, 1);
+        }
+        let (mut db, report) = Quit::open_paged(&dir, 64).unwrap();
+        assert_eq!(report.snapshot_entries, 4999);
+        assert_eq!(report.tail_records, 1);
+        // Lazy recovery: far fewer nodes resident than the tree holds.
+        assert!(
+            db.resident_nodes() <= 64,
+            "resident {} after open",
+            db.resident_nodes()
+        );
+        assert_eq!(db.get(3), None);
+        assert_eq!(db.get(10_000), Some(1));
+        assert_eq!(db.len(), 5000);
+        let spot: Vec<(u64, u64)> = db.range(100..104).collect();
+        assert_eq!(spot, vec![(100, 200), (101, 202), (102, 204), (103, 206)]);
+        let stats = db.stats();
+        assert!(stats.page_faults > 0, "reads faulted pages in");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn txn_store_rejects_paged_conc_config() {
+        let dir = std::env::temp_dir().join(format!(
+            "quit-paged-reject-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tree =
+            ConcConfig::paper_default().with_storage(quit_concurrent::StorageKind::paged(64));
+        let err = match Quit::open_with(&dir, tree, DurabilityConfig::group_commit()) {
+            Err(err) => err,
+            Ok(_) => panic!("paged ConcConfig must be rejected"),
+        };
+        assert_eq!(err.kind(), "config");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
